@@ -1,0 +1,327 @@
+package mcsched
+
+// This file is the benchmark harness of the reproduction: one benchmark per
+// figure of the paper (Figs. 3, 4, 5, 6a, 6b) plus the ablation benches
+// called out in DESIGN.md and micro-benchmarks for the individual
+// schedulability tests and partitioning strategies.
+//
+// Figure benches run a reduced number of task sets per UB bucket (the CLI
+// tool cmd/mcfigures regenerates the figures at full scale) and attach the
+// resulting weighted acceptance ratios as custom metrics, so a bench run
+// doubles as a sanity check of the paper's ordering:
+//
+//	go test -bench=Fig -benchmem .
+//
+// reports e.g. "war/CU-UDP-EDF-VD" above "war/CA(nosort)-F-F-EDF-VD".
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchSets is the per-UB sample count of the figure benches. Small on
+// purpose: the benches gauge harness cost and preserve the ordering of the
+// algorithms, not publication-grade precision.
+const benchSets = 4
+
+// reportWARs attaches each algorithm's WAR as a custom benchmark metric.
+func reportWARs(b *testing.B, res ExperimentResult) {
+	b.Helper()
+	for _, s := range res.Series {
+		b.ReportMetric(s.WAR(), "war/"+s.Name)
+	}
+}
+
+func benchFigure(b *testing.B, runner func(m, sets int, seed int64) (ExperimentResult, error), m int) {
+	b.Helper()
+	var last ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res, err := runner(m, benchSets, 2017)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportWARs(b, last)
+}
+
+// BenchmarkFig3 regenerates the three panels of Fig. 3 (implicit deadlines,
+// EDF-VD, PH=0.5): UDP strategies versus the speed-up-bound baseline.
+func BenchmarkFig3(b *testing.B) {
+	for _, m := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchFigure(b, Figure3, m) })
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (implicit deadlines, ECDF and AMC versus
+// the EY baselines).
+func BenchmarkFig4(b *testing.B) {
+	for _, m := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchFigure(b, Figure4, m) })
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (constrained deadlines).
+func BenchmarkFig5(b *testing.B) {
+	for _, m := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchFigure(b, Figure5, m) })
+	}
+}
+
+// BenchmarkFig6a regenerates Fig. 6a (WAR versus PH, implicit deadlines,
+// EDF-VD, m ∈ {2,4}).
+func BenchmarkFig6a(b *testing.B) {
+	var last WARResult
+	for i := 0; i < b.N; i++ {
+		res, err := Figure6a(benchSets, 2017)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportMidWARs(b, last)
+}
+
+// reportMidWARs attaches each (algorithm, m) pair's WAR at the middle PH as
+// a custom metric. Metric units must be whitespace-free.
+func reportMidWARs(b *testing.B, res WARResult) {
+	b.Helper()
+	for _, s := range res.Series {
+		if len(s.Points) > 0 {
+			unit := fmt.Sprintf("war@PH=0.5/%s,m=%d", s.Name, s.M)
+			b.ReportMetric(s.Points[len(s.Points)/2].WAR, unit)
+		}
+	}
+}
+
+// BenchmarkFig6b regenerates Fig. 6b (WAR versus PH, constrained deadlines,
+// AMC and ECDF, m ∈ {2,4}).
+func BenchmarkFig6b(b *testing.B) {
+	var last WARResult
+	for i := 0; i < b.N; i++ {
+		res, err := Figure6b(benchSets, 2017)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportMidWARs(b, last)
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices of Section III)
+// ---------------------------------------------------------------------------
+
+// ablationSweep runs a reduced implicit-deadline sweep with the given
+// algorithms and reports their WARs, so the bench output ranks the design
+// variants directly.
+func ablationSweep(b *testing.B, m int, algos []Algorithm) {
+	b.Helper()
+	var last ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(ExperimentConfig{
+			M: m, PH: 0.5, SetsPerUB: benchSets, Seed: 99,
+			UBMin: 0.5, UBMax: 0.99, Algorithms: algos,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportWARs(b, last)
+}
+
+// BenchmarkAblationFitKey isolates the paper's core idea: worst-fit by the
+// utilization difference (CA-UDP) versus worst-fit by raw HI utilization
+// (CA-Wu-F) versus plain first-fit (CA-F-F), all under the same EDF-VD test.
+func BenchmarkAblationFitKey(b *testing.B) {
+	t := EDFVD()
+	ablationSweep(b, 4, []Algorithm{
+		{Strategy: CAUDP(), Test: t},
+		{Strategy: CAWuF(), Test: t},
+		{Strategy: CAFF(), Test: t},
+	})
+}
+
+// BenchmarkAblationSort isolates decreasing-utilization sorting:
+// CA-F-F (sorted) versus CA(nosort)-F-F under EDF-VD.
+func BenchmarkAblationSort(b *testing.B) {
+	t := EDFVD()
+	ablationSweep(b, 4, []Algorithm{
+		{Strategy: CAFF(), Test: t},
+		{Strategy: CANoSortFF(), Test: t},
+	})
+}
+
+// BenchmarkAblationOrdering isolates criticality-aware versus unaware
+// allocation order at a high HC-task fraction, where the paper reports
+// CA-UDP degrading (heavy LC tasks get stranded).
+func BenchmarkAblationOrdering(b *testing.B) {
+	t := EDFVD()
+	algos := []Algorithm{
+		{Strategy: CAUDP(), Test: t},
+		{Strategy: CUUDP(), Test: t},
+	}
+	var last ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(ExperimentConfig{
+			M: 4, PH: 0.9, SetsPerUB: benchSets, Seed: 7,
+			UBMin: 0.5, UBMax: 0.99, Algorithms: algos,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportWARs(b, last)
+}
+
+// BenchmarkAblationAMCVariant compares the pessimism of AMC-rtb against
+// AMC-max under the same CU-UDP strategy.
+func BenchmarkAblationAMCVariant(b *testing.B) {
+	ablationSweep(b, 2, []Algorithm{
+		{Strategy: CUUDP(), Test: AMCWith(AMCMax)},
+		{Strategy: CUUDP(), Test: AMCWith(AMCRtb)},
+	})
+}
+
+// BenchmarkAblationTestStrength ranks the four uniprocessor tests under one
+// strategy: ECDF ≥ EY and ECDF ≥ EDF-VD are the relations the paper's
+// algorithm choices rely on.
+func BenchmarkAblationTestStrength(b *testing.B) {
+	ablationSweep(b, 2, []Algorithm{
+		{Strategy: CUUDP(), Test: ECDF()},
+		{Strategy: CUUDP(), Test: EY()},
+		{Strategy: CUUDP(), Test: EDFVD()},
+		{Strategy: CUUDP(), Test: AMC()},
+	})
+}
+
+// BenchmarkAblationPriorityPolicy compares Audsley's optimal priority
+// assignment against the deadline-monotonic fallback under AMC-max — the
+// priority-assignment design choice of the AMC substrate.
+func BenchmarkAblationPriorityPolicy(b *testing.B) {
+	audsley := AMC()
+	dm := AMCDeadlineMonotonic()
+	ablationSweep(b, 2, []Algorithm{
+		{Strategy: CUUDP(), Test: audsley, Label: "CU-UDP-AMC-audsley"},
+		{Strategy: CUUDP(), Test: dm, Label: "CU-UDP-AMC-dm"},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: tests, strategies, simulator
+// ---------------------------------------------------------------------------
+
+// benchSet draws one representative mid-load task set.
+func benchSet(b *testing.B, m int, constrained bool) TaskSet {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1234))
+	cfg := DefaultGenConfig(m, 0.5, 0.3, 0.3)
+	cfg.Constrained = constrained
+	ts, err := Generate(rng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+// BenchmarkTestEDFVD measures one EDF-VD acceptance decision.
+func BenchmarkTestEDFVD(b *testing.B) {
+	ts := benchSet(b, 1, false)
+	t := EDFVD()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Schedulable(ts)
+	}
+}
+
+// BenchmarkTestECDF measures one ECDF acceptance decision (dbf iteration
+// plus deadline tuning).
+func BenchmarkTestECDF(b *testing.B) {
+	ts := benchSet(b, 1, true)
+	t := ECDF()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Schedulable(ts)
+	}
+}
+
+// BenchmarkTestEY measures one Ekberg–Yi acceptance decision.
+func BenchmarkTestEY(b *testing.B) {
+	ts := benchSet(b, 1, true)
+	t := EY()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Schedulable(ts)
+	}
+}
+
+// BenchmarkTestAMC measures one AMC-max + Audsley acceptance decision.
+func BenchmarkTestAMC(b *testing.B) {
+	ts := benchSet(b, 1, true)
+	t := AMC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Schedulable(ts)
+	}
+}
+
+// BenchmarkPartition measures a full partitioning run per strategy on an
+// 8-core load under EDF-VD.
+func BenchmarkPartition(b *testing.B) {
+	ts := benchSet(b, 8, false)
+	for _, s := range Strategies() {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = s.Partition(ts, 8, EDFVD())
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateCore measures the discrete-event engine under the
+// randomized scenario on one mid-load core.
+func BenchmarkSimulateCore(b *testing.B) {
+	ts := benchSet(b, 1, false)
+	cfg := SimConfig{
+		Horizon:  100000,
+		Policy:   PolicyVirtualDeadlineEDF,
+		Scenario: ScenarioRandom(5, 0.2, 0.5),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateCore(ts, cfg)
+	}
+}
+
+// BenchmarkGenerate measures one task-set draw at the paper's default
+// parameters.
+func BenchmarkGenerate(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	cfg := DefaultGenConfig(8, 0.5, 0.3, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(rng, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpeedupSurvey measures the empirical speed-up sweep that
+// accompanies the 8/3 theorem, and reports the observed mean and max
+// speeds for CU-UDP-EDF-VD.
+func BenchmarkSpeedupSurvey(b *testing.B) {
+	algo := Algorithm{Strategy: CUUDP(), Test: EDFVD()}
+	var last SpeedupSurvey
+	for i := 0; i < b.N; i++ {
+		s, err := RunSpeedupSurvey(algo, 4, 40, 1.0, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	b.ReportMetric(last.Mean(), "speed-mean")
+	b.ReportMetric(last.Max(), "speed-max")
+}

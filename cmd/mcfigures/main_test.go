@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMs(t *testing.T) {
+	ms, err := parseMs("2,4, 8")
+	if err != nil || len(ms) != 3 || ms[0] != 2 || ms[2] != 8 {
+		t.Fatalf("parseMs: %v %v", ms, err)
+	}
+	for _, bad := range []string{"", "x", "0", "-2", "2,,x"} {
+		if _, err := parseMs(bad); err == nil {
+			t.Errorf("parseMs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFig3Tiny(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("3", 2, 1, dir, false, true, true, "2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig3a_m2.csv", "fig3a_m2.svg"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunFig6aTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAR sweep")
+	}
+	dir := t.TempDir()
+	if err := run("6a", 1, 1, dir, false, false, true, "2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6a.csv")); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSpeedup(t *testing.T) {
+	if err := runSpeedup(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpeedup(0, 5); err == nil {
+		t.Fatal("sets=0 accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("3", 0, 1, dir, false, false, false, "2"); err == nil {
+		t.Fatal("sets=0 accepted")
+	}
+	if err := run("3", 1, 1, dir, false, false, false, "bogus"); err == nil {
+		t.Fatal("bad -m accepted")
+	}
+	// Unknown figure name selects nothing and succeeds vacuously — that is
+	// the "all" filter contract; verify it does not error.
+	if err := run("7", 1, 1, dir, false, false, false, "2"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package mcsched
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end and requires a
+// zero exit status — the examples double as integration tests of the public
+// API (each one internally log.Fatals on broken invariants such as a
+// deadline miss or a failed partition).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs all examples")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go binary not available")
+	}
+	examples := []string{
+		"quickstart",
+		"paperexamples",
+		"avionics",
+		"automotive",
+		"modeswitch",
+	}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			done := make(chan error, 1)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example %s failed: %v", name, err)
+				}
+			case <-time.After(90 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+// Package dbf provides demand-bound-function machinery shared by the
+// dbf-based mixed-criticality schedulability tests (Ekberg–Yi and ECDF):
+// per-task demand curves, their kink points, and a generalized
+// Quick Processor-demand Analysis (QPA, Zhang & Burns 2009) that verifies
+// ∀ℓ ∈ (0, L]: demand(ℓ) ≤ ℓ without enumerating every point.
+//
+// All curves here are nondecreasing in ℓ and piecewise linear with integer
+// breakpoints ("kinks") and integer values at integer points, so the
+// analysis is exact in int64 arithmetic. Between consecutive kinks a curve
+// is affine; therefore sup(demand(ℓ) − ℓ) over a closed segment is attained
+// at a segment endpoint, and it suffices to examine kink points (plus the
+// QPA jump targets).
+package dbf
+
+import (
+	"mcsched/internal/mcs"
+)
+
+// Curve is a nondecreasing demand curve with integer kinks.
+type Curve interface {
+	// Value returns the demand in any interval of length l (l ≥ 0).
+	Value(l mcs.Ticks) mcs.Ticks
+	// PrevKink returns the largest kink strictly smaller than l, or -1 if
+	// none exists. A "kink" is any point where the curve's slope or value
+	// changes (jump points and ramp boundaries).
+	PrevKink(l mcs.Ticks) mcs.Ticks
+}
+
+// Sum aggregates several curves.
+type Sum []Curve
+
+// Value returns the total demand at l.
+func (s Sum) Value(l mcs.Ticks) mcs.Ticks {
+	var v mcs.Ticks
+	for _, c := range s {
+		v += c.Value(l)
+	}
+	return v
+}
+
+// PrevKink returns the largest kink of any member strictly below l.
+func (s Sum) PrevKink(l mcs.Ticks) mcs.Ticks {
+	best := mcs.Ticks(-1)
+	for _, c := range s {
+		if k := c.PrevKink(l); k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// maxQPAIters bounds the QPA loop. QPA converges geometrically for demand
+// with long-run slope < 1; the bound is a defensive backstop — hitting it
+// returns "not schedulable", which is the safe direction.
+const maxQPAIters = 1 << 20
+
+// QPA checks ∀ℓ ∈ (0, L]: demand(ℓ) ≤ ℓ for a nondecreasing curve. It
+// walks down from L: at each point t it evaluates h = demand(t); a value
+// h > t is a genuine violation (demand is nondecreasing, so the interval
+// (h, t) cannot hide one — for τ ∈ (h, t), demand(τ) ≤ h < τ); h < t lets
+// it jump straight to h; h == t steps to the previous kink. Exact for
+// integer piecewise-linear curves because segment suprema of demand(ℓ) − ℓ
+// sit on the inspected points.
+func QPA(c Curve, L mcs.Ticks) bool {
+	_, ok := QPAWitness(c, L)
+	return ok
+}
+
+// QPAWitness is QPA returning a violation witness: a point t with
+// demand(t) > t when the check fails (ok=false), or (-1, true) when the
+// curve is schedulable up to L. The witness is what the deadline-tuning
+// loops of the EY/ECDF tests steer on.
+func QPAWitness(c Curve, L mcs.Ticks) (witness mcs.Ticks, ok bool) {
+	if L <= 0 {
+		return -1, true
+	}
+	t := L
+	for iter := 0; iter < maxQPAIters; iter++ {
+		if t <= 0 {
+			return -1, true
+		}
+		h := c.Value(t)
+		switch {
+		case h > t:
+			return t, false
+		case h < t:
+			// No violation in (h, t]; resume at h, but h may sit below
+			// every kink, in which case demand is zero there and we stop.
+			if h <= 0 {
+				return -1, true
+			}
+			t = h
+		default: // h == t: boundary-tight point; inspect below the kink
+			k := c.PrevKink(t)
+			if k < 0 {
+				return -1, true
+			}
+			t = k
+		}
+	}
+	// Defensive: did not converge — report unschedulable (pessimistic).
+	return t, false
+}
+
+// Exhaustive checks ∀ℓ ∈ (0, L]: demand(ℓ) ≤ ℓ by brute force over every
+// integer point. It exists as the oracle QPA is verified against in tests;
+// use QPA everywhere else.
+func Exhaustive(c Curve, L mcs.Ticks) (witness mcs.Ticks, ok bool) {
+	for t := mcs.Ticks(1); t <= L; t++ {
+		if c.Value(t) > t {
+			return t, false
+		}
+	}
+	return -1, true
+}
+
+// Step is the classic demand step curve of a sporadic task: jumps of size
+// C at D, D+T, D+2T, … — max(0, ⌊(l−D)/T⌋+1)·C.
+type Step struct {
+	C, D, T mcs.Ticks
+}
+
+// Value implements Curve.
+func (s Step) Value(l mcs.Ticks) mcs.Ticks {
+	if l < s.D {
+		return 0
+	}
+	return ((l-s.D)/s.T + 1) * s.C
+}
+
+// PrevKink implements Curve.
+func (s Step) PrevKink(l mcs.Ticks) mcs.Ticks {
+	if l <= s.D {
+		return -1
+	}
+	k := (l - s.D - 1) / s.T // largest k with D + kT < l
+	return s.D + k*s.T
+}
+
+// lcmCap bounds the hyperperiod-based horizon; beyond it the periodic
+// argument is abandoned (the utilization bound must then apply).
+const lcmCap mcs.Ticks = 1 << 22
+
+// horizon combines the two classic bounds on the intervals a
+// processor-demand test must check. Every curve family here satisfies
+// demand(ℓ+H) = demand(ℓ) + H·U for ℓ ≥ transient (H = hyperperiod,
+// U = long-run slope), so with U ≤ 1 it suffices to check up to
+// transient + H; and with U < 1 the affine bound
+// demand(ℓ) ≤ U·ℓ + off gives the bound off/(1−U). ok=false means U > 1
+// (always infeasible for nonempty demand) or U == 1 with an intractable
+// hyperperiod (conservative reject; does not occur for the paper's
+// generated workloads, whose utilizations are strictly below 1).
+func horizon(u, off float64, transient, hyper mcs.Ticks, hyperOK bool) (L mcs.Ticks, ok bool) {
+	const eps = 1e-9
+	if u > 1+eps {
+		return 0, false
+	}
+	var periodic mcs.Ticks
+	havePeriodic := false
+	if hyperOK && hyper > 0 {
+		periodic = transient + hyper
+		havePeriodic = true
+	}
+	if u < 1-eps {
+		L = mcs.Ticks(off/(1-u)) + 1
+		if L < transient {
+			L = transient
+		}
+		if havePeriodic && periodic < L {
+			L = periodic
+		}
+		return L, true
+	}
+	if havePeriodic {
+		return periodic, true
+	}
+	return 0, false
+}
+
+// lcmCapped folds a period into a running hyperperiod, reporting whether
+// the result stayed within lcmCap.
+func lcmCapped(h, t mcs.Ticks, ok bool) (mcs.Ticks, bool) {
+	if !ok {
+		return h, false
+	}
+	g := h
+	for b := t; b != 0; {
+		g, b = b, g%b
+	}
+	if t/g > lcmCap/h { // h/g·t would exceed the cap (overflow-safe)
+		return h, false
+	}
+	h = h / g * t
+	if h > lcmCap {
+		return h, false
+	}
+	return h, true
+}
+
+// HorizonLO returns a safe upper bound on the interval lengths that need
+// checking for a step-curve LO-mode test: beyond it demand(ℓ) ≤ ℓ is
+// implied. ok=false means the demand is infeasible at any horizon (see
+// horizon).
+func HorizonLO(steps []Step) (L mcs.Ticks, ok bool) {
+	if len(steps) == 0 {
+		return 0, true
+	}
+	var u, off float64
+	var maxD mcs.Ticks
+	hyper, hyperOK := mcs.Ticks(1), true
+	for _, s := range steps {
+		ui := float64(s.C) / float64(s.T)
+		u += ui
+		if d := float64(s.T-s.D) * ui; d > 0 {
+			off += d
+		}
+		if s.D > maxD {
+			maxD = s.D
+		}
+		hyper, hyperOK = lcmCapped(hyper, s.T, hyperOK)
+	}
+	return horizon(u, off, maxD, hyper, hyperOK)
+}

@@ -1,0 +1,307 @@
+// Package ey implements a demand-bound-function schedulability test for
+// dual-criticality sporadic task systems in the style of Ekberg & Yi,
+// "Bounding and shaping the demand of mixed-criticality sporadic tasks"
+// (ECRTS 2012): per-task virtual deadlines for HC tasks, a LO-mode EDF
+// demand test on the shrunk deadlines, a HI-mode demand test with
+// carry-over jobs (the Sawtooth curve in internal/analysis/dbf), and a
+// greedy failure-guided shaping loop that trades LO-mode slack for HI-mode
+// slack one task at a time.
+//
+// The demand bounds follow the published worst-case alignment; the shaping
+// loop is a documented reconstruction (the original's tuning order is
+// heuristic as well). Package ecdf builds a stronger search on top of the
+// same machinery.
+package ey
+
+import (
+	"mcsched/internal/analysis/dbf"
+	"mcsched/internal/mcs"
+)
+
+// Options tunes the shaping loop.
+type Options struct {
+	// MaxIter bounds the number of deadline adjustments (default 256).
+	MaxIter int
+}
+
+// DefaultOptions returns the defaults used by the experiments.
+func DefaultOptions() Options { return Options{MaxIter: 256} }
+
+func (o Options) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 256
+	}
+	return o.MaxIter
+}
+
+// Result reports the verdict and, when schedulable, the virtual-deadline
+// assignment (task ID → LO-mode relative deadline for HC tasks).
+type Result struct {
+	Schedulable bool
+	// VD maps HC task IDs to their assigned LO-mode virtual deadlines.
+	// LC tasks keep their real deadlines and do not appear.
+	VD map[int]mcs.Ticks
+	// Iterations counts shaping steps performed (diagnostics).
+	Iterations int
+}
+
+// Assignment is a virtual-deadline assignment for the HC tasks of a set.
+type Assignment map[int]mcs.Ticks
+
+// clone copies the assignment.
+func (a Assignment) clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// InitialAssignment returns the loosest assignment d_i = D_i.
+func InitialAssignment(ts mcs.TaskSet) Assignment {
+	a := make(Assignment)
+	for _, t := range ts {
+		if t.IsHC() {
+			a[t.ID] = t.Deadline
+		}
+	}
+	return a
+}
+
+// ScaledAssignment returns d_i = C_i^L + λ·(D_i − C_i^L) rounded down,
+// clamped to [C_i^L, D_i]. λ=1 is the loosest (d=D), λ=0 the tightest
+// (d=C^L).
+func ScaledAssignment(ts mcs.TaskSet, lambda float64) Assignment {
+	a := make(Assignment)
+	for _, t := range ts {
+		if !t.IsHC() {
+			continue
+		}
+		span := float64(t.Deadline - t.CLo())
+		d := t.CLo() + mcs.Ticks(lambda*span)
+		if d < t.CLo() {
+			d = t.CLo()
+		}
+		if d > t.Deadline {
+			d = t.Deadline
+		}
+		a[t.ID] = d
+	}
+	return a
+}
+
+// LOCurves builds the LO-mode demand curves: every task contributes a step
+// of size C^L at its LO-mode deadline (virtual for HC, real for LC).
+func LOCurves(ts mcs.TaskSet, a Assignment) []dbf.Step {
+	steps := make([]dbf.Step, 0, len(ts))
+	for _, t := range ts {
+		d := t.Deadline
+		if t.IsHC() {
+			d = a[t.ID]
+		}
+		steps = append(steps, dbf.Step{C: t.CLo(), D: d, T: t.Period})
+	}
+	return steps
+}
+
+// HICurves builds the HI-mode demand curves for the HC tasks.
+func HICurves(ts mcs.TaskSet, a Assignment) []dbf.Sawtooth {
+	var saws []dbf.Sawtooth
+	for _, t := range ts {
+		if !t.IsHC() {
+			continue
+		}
+		saws = append(saws, dbf.Sawtooth{
+			CL: t.CLo(), CH: t.CHi(), D: t.Deadline, VD: a[t.ID], T: t.Period,
+		})
+	}
+	return saws
+}
+
+// LOFeasible runs the LO-mode QPA test under the assignment.
+func LOFeasible(ts mcs.TaskSet, a Assignment) bool {
+	steps := LOCurves(ts, a)
+	L, ok := dbf.HorizonLO(steps)
+	if !ok {
+		return false
+	}
+	sum := make(dbf.Sum, len(steps))
+	for i := range steps {
+		sum[i] = steps[i]
+	}
+	return dbf.QPA(sum, L)
+}
+
+// HIFeasible runs the HI-mode QPA test and returns a violation witness
+// when it fails.
+func HIFeasible(ts mcs.TaskSet, a Assignment) (witness mcs.Ticks, ok bool) {
+	saws := HICurves(ts, a)
+	if len(saws) == 0 {
+		return -1, true
+	}
+	L, ok := dbf.HorizonHI(saws)
+	if !ok {
+		return 0, false
+	}
+	sum := make(dbf.Sum, len(saws))
+	for i := range saws {
+		sum[i] = saws[i]
+	}
+	return dbf.QPAWitness(sum, L)
+}
+
+// Analyze runs the EY test: the loosest assignment must pass the LO test
+// (otherwise even plain EDF on LO parameters fails), then HI-mode failures
+// are repaired by shrinking one virtual deadline at a time, checking that
+// the LO test still holds after each move.
+func Analyze(ts mcs.TaskSet, opts Options) Result {
+	a := InitialAssignment(ts)
+	if !LOFeasible(ts, a) {
+		return Result{}
+	}
+	r, ok := shape(ts, a, opts.maxIter())
+	if !ok {
+		return Result{Iterations: r.Iterations}
+	}
+	return r
+}
+
+// Schedulable is the boolean wrapper with default options.
+func Schedulable(ts mcs.TaskSet) bool { return Analyze(ts, DefaultOptions()).Schedulable }
+
+// ShapeFrom runs the failure-guided shaping loop from an arbitrary
+// LO-feasible assignment. It is the entry point package ecdf uses for its
+// scale-factor restarts. The input assignment is not modified.
+func ShapeFrom(ts mcs.TaskSet, a Assignment, opts Options) (Assignment, bool) {
+	r, ok := shape(ts, a.clone(), opts.maxIter())
+	if !ok {
+		return nil, false
+	}
+	return r.VD, true
+}
+
+// shape runs the failure-guided tuning loop from a LO-feasible assignment.
+// It returns the final result and whether it converged.
+func shape(ts mcs.TaskSet, a Assignment, maxIter int) (Result, bool) {
+	frozen := make(map[int]bool)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		w, ok := HIFeasible(ts, a)
+		if ok {
+			return Result{Schedulable: true, VD: a, Iterations: iters}, true
+		}
+		if !tuneStep(ts, a, frozen, w) {
+			return Result{Iterations: iters}, false
+		}
+	}
+	return Result{Iterations: iters}, false
+}
+
+// tuneStep shrinks the virtual deadline of the task that yields the largest
+// demand reduction at the HI-mode violation witness w, while keeping the LO
+// test passing. Returns false when no move is possible.
+func tuneStep(ts mcs.TaskSet, a Assignment, frozen map[int]bool, w mcs.Ticks) bool {
+	// Demand the HI test must shed at w.
+	saws := HICurves(ts, a)
+	sum := make(dbf.Sum, len(saws))
+	for i := range saws {
+		sum[i] = saws[i]
+	}
+	needed := sum.Value(w) - w
+	if needed <= 0 {
+		needed = 1
+	}
+
+	type candidate struct {
+		task mcs.Task
+		gain mcs.Ticks // demand reduction at w if shrunk fully to C^L
+	}
+	var best *candidate
+	for _, t := range ts {
+		if !t.IsHC() || frozen[t.ID] {
+			continue
+		}
+		d := a[t.ID]
+		if d <= t.CLo() {
+			continue
+		}
+		cur := dbf.Sawtooth{CL: t.CLo(), CH: t.CHi(), D: t.Deadline, VD: d, T: t.Period}.Value(w)
+		min := dbf.Sawtooth{CL: t.CLo(), CH: t.CHi(), D: t.Deadline, VD: t.CLo(), T: t.Period}.Value(w)
+		gain := cur - min
+		if gain <= 0 {
+			continue
+		}
+		if best == nil || gain > best.gain {
+			c := candidate{task: t, gain: gain}
+			best = &c
+		}
+	}
+	if best == nil {
+		return false
+	}
+
+	t := best.task
+	hi, lo := a[t.ID], t.CLo()
+	// Find the largest shrink ≤ needed that keeps the LO test passing,
+	// preferring the full shrink; binary search over the LO-feasible
+	// boundary (LO demand is monotone in −d, so feasibility is monotone
+	// in d: larger d is easier for LO).
+	target := hi - needed
+	if target < lo {
+		target = lo
+	}
+	try := func(d mcs.Ticks) bool {
+		old := a[t.ID]
+		a[t.ID] = d
+		ok := LOFeasible(ts, a)
+		if !ok {
+			a[t.ID] = old
+		}
+		return ok
+	}
+	if try(target) {
+		return true
+	}
+	// Binary search in (target, hi): smallest d ≥ target that stays
+	// LO-feasible; any strict decrease is progress.
+	loBound, hiBound := target+1, hi-1
+	moved := false
+	for loBound <= hiBound {
+		mid := (loBound + hiBound) / 2
+		if try(mid) {
+			moved = true
+			hiBound = mid - 1 // try to shrink further
+		} else {
+			loBound = mid + 1
+		}
+	}
+	if !moved {
+		frozen[t.ID] = true
+		// Another candidate may still help on the next iteration; report
+		// progress only if any unfrozen candidate remains.
+		for _, u := range ts {
+			if u.IsHC() && !frozen[u.ID] && a[u.ID] > u.CLo() {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Test is the partitioning-test adapter for EY.
+type Test struct {
+	Opts Options
+}
+
+// Name implements the test interface.
+func (Test) Name() string { return "EY" }
+
+// Schedulable implements the test interface.
+func (t Test) Schedulable(ts mcs.TaskSet) bool {
+	o := t.Opts
+	if o.MaxIter == 0 {
+		o = DefaultOptions()
+	}
+	return Analyze(ts, o).Schedulable
+}

@@ -1,0 +1,217 @@
+// Package core implements the paper's contribution: partitioned scheduling
+// of dual-criticality task systems, in particular the Utilization
+// Difference based Partitioning (UDP) strategies CA-UDP and CU-UDP
+// (Ramanathan & Easwaran, DATE 2017, Section III) together with the
+// published baselines they are evaluated against (Section IV).
+//
+// A Strategy assigns tasks to processors, consulting a uniprocessor
+// schedulability Test before every assignment; a failed test on every
+// processor fails the partitioning. A Strategy combined with a Test forms
+// an Algorithm — a complete partitioned MC scheduling algorithm such as
+// "CU-UDP-EDF-VD".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mcsched/internal/mcs"
+)
+
+// Test is a uniprocessor MC schedulability test consulted during
+// partitioning. Implementations live in internal/analysis/*.
+type Test interface {
+	// Name identifies the test in algorithm names, e.g. "EDF-VD".
+	Name() string
+	// Schedulable decides the given uniprocessor task set.
+	Schedulable(mcs.TaskSet) bool
+}
+
+// Partition is the result of a successful partitioning: one task set per
+// processor. Every input task appears on exactly one core and every core
+// passes the algorithm's uniprocessor test.
+type Partition struct {
+	Cores []mcs.TaskSet
+}
+
+// Clone deep-copies the partition.
+func (p Partition) Clone() Partition {
+	out := Partition{Cores: make([]mcs.TaskSet, len(p.Cores))}
+	for i, c := range p.Cores {
+		out.Cores[i] = c.Clone()
+	}
+	return out
+}
+
+// NumTasks returns the total number of assigned tasks.
+func (p Partition) NumTasks() int {
+	n := 0
+	for _, c := range p.Cores {
+		n += len(c)
+	}
+	return n
+}
+
+// CoreOf returns the core index holding the task with the given ID, or -1.
+func (p Partition) CoreOf(id int) int {
+	for k, c := range p.Cores {
+		if _, ok := c.ByID(id); ok {
+			return k
+		}
+	}
+	return -1
+}
+
+// MaxUtilDiff returns max_k (UHH(φ_k) − ULH(φ_k)) — the quantity the UDP
+// strategies minimize the spread of.
+func (p Partition) MaxUtilDiff() float64 {
+	var worst float64
+	for _, c := range p.Cores {
+		if d := c.UtilDiff(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// ErrUnpartitionable is returned (wrapped) when a task fits on no core.
+var ErrUnpartitionable = errors.New("core: task fits on no processor")
+
+// FailError carries the task that could not be placed.
+type FailError struct {
+	Task mcs.Task
+}
+
+func (e FailError) Error() string {
+	return fmt.Sprintf("core: task fits on no processor: %v", e.Task)
+}
+
+// Unwrap makes errors.Is(err, ErrUnpartitionable) work.
+func (e FailError) Unwrap() error { return ErrUnpartitionable }
+
+// Strategy is a partitioning strategy.
+type Strategy interface {
+	// Name identifies the strategy, e.g. "CU-UDP".
+	Name() string
+	// Partition assigns every task of ts to one of m processors such that
+	// each processor passes test. It returns a FailError wrapping
+	// ErrUnpartitionable when some task fits nowhere.
+	Partition(ts mcs.TaskSet, m int, test Test) (Partition, error)
+}
+
+// state tracks the partial assignment and incremental per-core aggregates
+// during a partitioning run.
+type state struct {
+	cores []mcs.TaskSet
+	ulh   []float64 // Σ u^L of HC tasks per core
+	uhh   []float64 // Σ u^H of HC tasks per core
+	test  Test
+	// lastCore is the core of the most recent successful tryAssign; used
+	// by strategies that maintain their own fit keys.
+	lastCore int
+}
+
+func newState(m int, test Test) *state {
+	return &state{
+		cores:    make([]mcs.TaskSet, m),
+		ulh:      make([]float64, m),
+		uhh:      make([]float64, m),
+		test:     test,
+		lastCore: -1,
+	}
+}
+
+// utilDiff returns UHH(φ_k) − ULH(φ_k).
+func (s *state) utilDiff(k int) float64 { return s.uhh[k] - s.ulh[k] }
+
+// tryAssign tests task on core k and commits it if schedulable.
+func (s *state) tryAssign(task mcs.Task, k int) bool {
+	cand := append(s.cores[k], task)
+	if !s.test.Schedulable(cand) {
+		return false
+	}
+	s.cores[k] = cand
+	if task.IsHC() {
+		s.ulh[k] += task.ULo
+		s.uhh[k] += task.UHi
+	}
+	s.lastCore = k
+	return true
+}
+
+// firstFit tries cores in index order.
+func (s *state) firstFit(task mcs.Task) bool {
+	for k := range s.cores {
+		if s.tryAssign(task, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// worstFitBy tries cores in increasing order of key(k), ties by index —
+// the generalized worst-fit of Algorithm 1 line 3.
+func (s *state) worstFitBy(task mcs.Task, key func(k int) float64) bool {
+	order := make([]int, len(s.cores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := key(order[a]), key(order[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	for _, k := range order {
+		if s.tryAssign(task, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// bestFitBy tries cores in decreasing order of key(k) — the mirror image of
+// worst-fit, provided for ablation studies.
+func (s *state) bestFitBy(task mcs.Task, key func(k int) float64) bool {
+	order := make([]int, len(s.cores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := key(order[a]), key(order[b])
+		if ka != kb {
+			return ka > kb
+		}
+		return order[a] < order[b]
+	})
+	for _, k := range order {
+		if s.tryAssign(task, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// finish converts the state into a Partition.
+func (s *state) finish() Partition { return Partition{Cores: s.cores} }
+
+// sortedByLevelUtil returns a copy sorted in decreasing order of each
+// task's utilization at its own criticality level.
+func sortedByLevelUtil(ts mcs.TaskSet) mcs.TaskSet {
+	cp := ts.Clone()
+	cp.SortByLevelUtil()
+	return cp
+}
+
+// validateInput rejects degenerate partitioning requests.
+func validateInput(ts mcs.TaskSet, m int) error {
+	if m <= 0 {
+		return fmt.Errorf("core: m=%d processors", m)
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	return ts.Validate()
+}

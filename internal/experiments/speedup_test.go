@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcsched/internal/core"
+	"mcsched/internal/mcs"
+	"mcsched/internal/taskgen"
+)
+
+func TestSpeedScaled(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 10, 20, 100),
+		mcs.NewLC(1, 30, 100),
+	}
+	scaled := SpeedScaled(ts, 2)
+	if scaled[0].CLo() != 5 || scaled[0].CHi() != 10 {
+		t.Fatalf("HC budgets %d,%d", scaled[0].CLo(), scaled[0].CHi())
+	}
+	if scaled[1].CLo() != 15 || scaled[1].CHi() != 15 {
+		t.Fatalf("LC budgets %d,%d", scaled[1].CLo(), scaled[1].CHi())
+	}
+	if scaled[0].ULo != 0.05 || scaled[0].UHi != 0.1 {
+		t.Fatalf("utilizations not rederived: %g %g", scaled[0].ULo, scaled[0].UHi)
+	}
+	// Originals untouched.
+	if ts[0].CLo() != 10 {
+		t.Fatal("input mutated")
+	}
+	// Budgets never drop below 1 and stay ordered.
+	tiny := SpeedScaled(mcs.TaskSet{mcs.NewHC(0, 1, 2, 50)}, 10)
+	if tiny[0].CLo() < 1 || tiny[0].CHi() < tiny[0].CLo() {
+		t.Fatalf("degenerate scaling: %v", tiny[0])
+	}
+	// s ≤ 1 is a clone.
+	same := SpeedScaled(ts, 0.5)
+	if same[0] != ts[0] || same[1] != ts[1] {
+		t.Fatal("s<1 altered the set")
+	}
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinSpeedAlreadySchedulable(t *testing.T) {
+	algo := core.Algorithm{Strategy: core.CUUDP(), Test: EDFVDTest()}
+	ts := mcs.TaskSet{mcs.NewHC(0, 5, 10, 100)}
+	s, ok := MinSpeed(algo, ts, 1, 4, 1e-3)
+	if !ok || s != 1 {
+		t.Fatalf("light set: s=%g ok=%v", s, ok)
+	}
+}
+
+func TestMinSpeedFindsBoundary(t *testing.T) {
+	// Two HC tasks with UHH = 1.2 on one core: the minimum speed is 1.2
+	// (budget scaling by ceiling can demand a hair more).
+	algo := core.Algorithm{Strategy: core.CUUDP(), Test: EDFVDTest()}
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 100, 600, 1000),
+		mcs.NewHC(1, 100, 600, 1000),
+	}
+	s, ok := MinSpeed(algo, ts, 1, 4, 1e-4)
+	if !ok {
+		t.Fatal("unresolved")
+	}
+	if s < 1.19 || s > 1.23 {
+		t.Fatalf("boundary speed %g, want ≈ 1.2", s)
+	}
+	// Verified acceptance at the returned speed.
+	if !algo.Schedulable(SpeedScaled(ts, s), 1) {
+		t.Fatal("returned speed not actually accepted")
+	}
+}
+
+func TestMinSpeedUnresolved(t *testing.T) {
+	algo := core.Algorithm{Strategy: core.CUUDP(), Test: EDFVDTest()}
+	// UHH = 5 on one core cannot be fixed by speed 4 (ceil keeps C ≥ 1, but
+	// utilization 5/4 > 1 regardless).
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 100, 1000, 1000),
+		mcs.NewHC(1, 100, 1000, 1000),
+		mcs.NewHC(2, 100, 1000, 1000),
+		mcs.NewHC(3, 100, 1000, 1000),
+		mcs.NewHC(4, 100, 1000, 1000),
+	}
+	if _, ok := MinSpeed(algo, ts, 1, 4, 1e-3); ok {
+		t.Fatal("impossible set resolved")
+	}
+}
+
+// TestSpeedupSurveyUnderBound: the empirical companion of the 8/3 theorem —
+// over generated sets with UB ≤ 1, UDP-EDF-VD never needs speed > 8/3.
+// (The theorem's premise is feasibility; UB ≤ 1 is only necessary, so this
+// is an empirical observation, asserted with the theorem's margin.)
+func TestSpeedupSurveyUnderBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey sweep")
+	}
+	for _, strat := range []core.Strategy{core.CAUDP(), core.CUUDP()} {
+		algo := core.Algorithm{Strategy: strat, Test: EDFVDTest()}
+		survey, err := RunSpeedupSurvey(algo, 4, 120, 1.0, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if survey.Unresolved > 0 {
+			t.Errorf("%s: %d sets needed speed > 4", algo.Name(), survey.Unresolved)
+		}
+		if max := survey.Max(); max > 8.0/3.0+1e-6 {
+			t.Errorf("%s: observed speed %.4f exceeds 8/3", algo.Name(), max)
+		}
+		if survey.Mean() < 1 {
+			t.Errorf("%s: mean below 1: %v", algo.Name(), survey)
+		}
+		t.Log(survey.String())
+	}
+}
+
+func TestSpeedupSurveyValidation(t *testing.T) {
+	algo := core.Algorithm{Strategy: core.CUUDP(), Test: EDFVDTest()}
+	if _, err := RunSpeedupSurvey(algo, 0, 10, 1, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := RunSpeedupSurvey(algo, 2, 0, 1, 1); err == nil {
+		t.Fatal("sets=0 accepted")
+	}
+	if _, err := RunSpeedupSurvey(algo, 2, 10, 0.01, 1); err == nil {
+		t.Fatal("empty UB window accepted")
+	}
+}
+
+// TestMinSpeedMonotoneScaling: scaling a set by speed s then asking for the
+// minimum speed of the scaled set yields ≈ original/s (sanity of the
+// transformation, not of the search).
+func TestMinSpeedMonotoneScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	algo := core.Algorithm{Strategy: core.CUUDP(), Test: EDFVDTest()}
+	cfg := taskgen.DefaultConfig(2, 0.8, 0.4, 0.5)
+	ts, err := taskgen.Generate(rng, cfg)
+	if err != nil {
+		t.Skip("generation failed for this seed")
+	}
+	s0, ok := MinSpeed(algo, ts, 2, 4, 1e-3)
+	if !ok || s0 <= 1 {
+		t.Skip("set schedulable or unresolved; nothing to compare")
+	}
+	pre := SpeedScaled(ts, s0/1.5)
+	s1, ok := MinSpeed(algo, pre, 2, 4, 1e-3)
+	if !ok {
+		t.Fatal("prescaled set unresolved")
+	}
+	if s1 > 1.6 {
+		t.Fatalf("prescaling by %.3f left required speed %.3f", s0/1.5, s1)
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import "math"
+
+// WilsonCI returns the Wilson score interval for the point's acceptance
+// ratio at confidence level z (z = 1.96 for 95%). The Wilson interval is
+// well-behaved at ratios near 0 and 1 — exactly where acceptance curves
+// live — unlike the normal approximation. An empty bucket yields (0, 1):
+// no information.
+func (p Point) WilsonCI(z float64) (lo, hi float64) {
+	n := float64(p.Total)
+	if n == 0 {
+		return 0, 1
+	}
+	phat := float64(p.Accepted) / n
+	z2 := z * z
+	den := 1 + z2/n
+	center := (phat + z2/(2*n)) / den
+	half := z / den * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Z95 is the standard normal quantile for a 95% two-sided interval.
+const Z95 = 1.959963984540054
+
+// SeparatedFrom reports whether the acceptance ratios of a and b differ
+// significantly at the given z: their Wilson intervals are disjoint. It is
+// a conservative two-proportion check — good enough to decide whether an
+// observed improvement at one UB bucket is noise.
+func (p Point) SeparatedFrom(q Point, z float64) bool {
+	alo, ahi := p.WilsonCI(z)
+	blo, bhi := q.WilsonCI(z)
+	return ahi < blo || bhi < alo
+}
+
+// SignificantGainBuckets returns the UB values where alg's acceptance ratio
+// is above base's with disjoint 95% Wilson intervals — the buckets where an
+// improvement claim is statistically defensible at the sweep's sample size.
+func SignificantGainBuckets(alg, base Series) []float64 {
+	var out []float64
+	for i, p := range alg.Points {
+		if i >= len(base.Points) {
+			break
+		}
+		q := base.Points[i]
+		if p.UB != q.UB {
+			continue
+		}
+		if p.Ratio() > q.Ratio() && p.SeparatedFrom(q, Z95) {
+			out = append(out, p.UB)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonCIKnownValues(t *testing.T) {
+	// 8/10 at 95%: the Wilson interval is ≈ (0.490, 0.943).
+	p := Point{Accepted: 8, Total: 10}
+	lo, hi := p.WilsonCI(Z95)
+	if math.Abs(lo-0.4902) > 0.002 || math.Abs(hi-0.9433) > 0.002 {
+		t.Fatalf("8/10: got (%.4f, %.4f), want ≈ (0.490, 0.943)", lo, hi)
+	}
+	// 0/10 at 95%: lower bound must be exactly 0, upper ≈ 0.278.
+	p = Point{Accepted: 0, Total: 10}
+	lo, hi = p.WilsonCI(Z95)
+	if lo != 0 || math.Abs(hi-0.2775) > 0.002 {
+		t.Fatalf("0/10: got (%.4f, %.4f)", lo, hi)
+	}
+	// 10/10: upper bound 1 (up to fp rounding of the algebraic identity).
+	p = Point{Accepted: 10, Total: 10}
+	if _, hi := p.WilsonCI(Z95); hi < 1-1e-12 {
+		t.Fatalf("10/10: hi=%g", hi)
+	}
+	// Empty bucket: vacuous interval.
+	if lo, hi := (Point{}).WilsonCI(Z95); lo != 0 || hi != 1 {
+		t.Fatalf("empty: (%g, %g)", lo, hi)
+	}
+}
+
+// TestWilsonCIProperties: for any sample, the interval is within [0,1],
+// contains the point estimate, and shrinks with more data.
+func TestWilsonCIProperties(t *testing.T) {
+	prop := func(acc, tot uint16) bool {
+		total := int(tot%1000) + 1
+		accepted := int(acc) % (total + 1)
+		p := Point{Accepted: accepted, Total: total}
+		lo, hi := p.WilsonCI(Z95)
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		r := p.Ratio()
+		if r < lo-1e-12 || r > hi+1e-12 {
+			return false
+		}
+		// Ten times the data at the same ratio: narrower interval.
+		big := Point{Accepted: accepted * 10, Total: total * 10}
+		blo, bhi := big.WilsonCI(Z95)
+		return bhi-blo <= hi-lo+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeparatedFrom(t *testing.T) {
+	a := Point{Accepted: 95, Total: 100}
+	b := Point{Accepted: 20, Total: 100}
+	if !a.SeparatedFrom(b, Z95) {
+		t.Fatal("95% vs 20% with n=100 not separated")
+	}
+	c := Point{Accepted: 50, Total: 100}
+	d := Point{Accepted: 55, Total: 100}
+	if c.SeparatedFrom(d, Z95) {
+		t.Fatal("50% vs 55% with n=100 claimed separated")
+	}
+	if !a.SeparatedFrom(b, Z95) || !b.SeparatedFrom(a, Z95) {
+		t.Fatal("separation not symmetric")
+	}
+}
+
+func TestSignificantGainBuckets(t *testing.T) {
+	alg := Series{Name: "a", Points: []Point{
+		{UB: 0.6, Accepted: 95, Total: 100},
+		{UB: 0.7, Accepted: 55, Total: 100},
+		{UB: 0.8, Accepted: 10, Total: 100},
+	}}
+	base := Series{Name: "b", Points: []Point{
+		{UB: 0.6, Accepted: 40, Total: 100}, // separated, gain
+		{UB: 0.7, Accepted: 50, Total: 100}, // overlap: not significant
+		{UB: 0.8, Accepted: 60, Total: 100}, // separated but a LOSS
+	}}
+	got := SignificantGainBuckets(alg, base)
+	if len(got) != 1 || got[0] != 0.6 {
+		t.Fatalf("got %v, want [0.6]", got)
+	}
+}
+
+// TestSignificanceOnRealSweep: at 150 sets/UB the CU-UDP gain over the
+// baseline at the decisive UB=0.8 bucket (m=8) must be statistically
+// significant — this pins the paper's central claim above noise level.
+func TestSignificanceOnRealSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium sweep")
+	}
+	res, err := Run(Config{
+		M: 8, PH: 0.5, SetsPerUB: 150, Seed: 2017,
+		UBMin: 0.7, UBMax: 0.85,
+		Algorithms: Figure3Algorithms(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, _ := res.SeriesByName("CU-UDP-EDF-VD")
+	base, _ := res.SeriesByName("CA(nosort)-F-F-EDF-VD")
+	if got := SignificantGainBuckets(cu, base); len(got) == 0 {
+		t.Fatalf("no significant gain bucket at m=8 with 150 sets/UB:\n%s", Summary(res))
+	}
+}

@@ -1,0 +1,184 @@
+// Package mcsio serializes task sets and partitions as JSON so the command
+// line tools can be composed into pipelines (generate | partition |
+// simulate) and task systems can be stored next to the experiments that use
+// them. The wire format is stable, versioned and human-editable.
+package mcsio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mcsched/internal/core"
+	"mcsched/internal/mcs"
+)
+
+// FormatVersion identifies the JSON schema; bump on breaking changes.
+const FormatVersion = 1
+
+// TaskJSON is the wire form of one task.
+type TaskJSON struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name,omitempty"`
+	Crit     string  `json:"crit"` // "LO" or "HI"
+	Period   int64   `json:"period"`
+	Deadline int64   `json:"deadline"`
+	CLo      int64   `json:"c_lo"`
+	CHi      int64   `json:"c_hi"`
+	ULo      float64 `json:"u_lo,omitempty"`
+	UHi      float64 `json:"u_hi,omitempty"`
+}
+
+// TaskSetJSON is the wire form of a task set.
+type TaskSetJSON struct {
+	Version int        `json:"version"`
+	Tasks   []TaskJSON `json:"tasks"`
+}
+
+// PartitionJSON is the wire form of a partition: task IDs per core plus the
+// full task definitions, so a partition file is self-contained.
+type PartitionJSON struct {
+	Version int        `json:"version"`
+	Cores   [][]int    `json:"cores"`
+	Tasks   []TaskJSON `json:"tasks"`
+}
+
+// fromTask converts a model task to its wire form.
+func fromTask(t mcs.Task) TaskJSON {
+	return TaskJSON{
+		ID:       t.ID,
+		Name:     t.Name,
+		Crit:     t.Crit.String(),
+		Period:   int64(t.Period),
+		Deadline: int64(t.Deadline),
+		CLo:      int64(t.CLo()),
+		CHi:      int64(t.CHi()),
+		ULo:      t.ULo,
+		UHi:      t.UHi,
+	}
+}
+
+// toTask converts a wire task back to the model, deriving utilizations from
+// the integer parameters when the file omits them.
+func toTask(j TaskJSON) (mcs.Task, error) {
+	var crit mcs.Level
+	switch j.Crit {
+	case "LO":
+		crit = mcs.LO
+	case "HI":
+		crit = mcs.HI
+	default:
+		return mcs.Task{}, fmt.Errorf("mcsio: task %d: unknown criticality %q", j.ID, j.Crit)
+	}
+	t := mcs.Task{
+		ID:       j.ID,
+		Name:     j.Name,
+		Crit:     crit,
+		Period:   mcs.Ticks(j.Period),
+		Deadline: mcs.Ticks(j.Deadline),
+		ULo:      j.ULo,
+		UHi:      j.UHi,
+	}
+	t.WCET[mcs.LO] = mcs.Ticks(j.CLo)
+	t.WCET[mcs.HI] = mcs.Ticks(j.CHi)
+	if crit == mcs.LO && j.CHi == 0 {
+		t.WCET[mcs.HI] = mcs.Ticks(j.CLo)
+	}
+	if t.ULo == 0 && t.Period > 0 {
+		t.ULo = float64(t.CLo()) / float64(t.Period)
+	}
+	if t.UHi == 0 && t.Period > 0 {
+		t.UHi = float64(t.CHi()) / float64(t.Period)
+	}
+	if err := t.Validate(); err != nil {
+		return mcs.Task{}, fmt.Errorf("mcsio: %w", err)
+	}
+	return t, nil
+}
+
+// WriteTaskSet encodes the task set as indented JSON.
+func WriteTaskSet(w io.Writer, ts mcs.TaskSet) error {
+	doc := TaskSetJSON{Version: FormatVersion}
+	for _, t := range ts {
+		doc.Tasks = append(doc.Tasks, fromTask(t))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadTaskSet decodes a task set and validates every task.
+func ReadTaskSet(r io.Reader) (mcs.TaskSet, error) {
+	var doc TaskSetJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("mcsio: decode: %w", err)
+	}
+	if doc.Version != 0 && doc.Version != FormatVersion {
+		return nil, fmt.Errorf("mcsio: unsupported version %d (supported: %d)", doc.Version, FormatVersion)
+	}
+	ts := make(mcs.TaskSet, 0, len(doc.Tasks))
+	for _, j := range doc.Tasks {
+		t, err := toTask(j)
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("mcsio: %w", err)
+	}
+	return ts, nil
+}
+
+// WritePartition encodes a partition (task IDs per core plus definitions).
+func WritePartition(w io.Writer, p core.Partition) error {
+	doc := PartitionJSON{Version: FormatVersion, Cores: make([][]int, len(p.Cores))}
+	for k, c := range p.Cores {
+		doc.Cores[k] = []int{}
+		for _, t := range c {
+			doc.Cores[k] = append(doc.Cores[k], t.ID)
+			doc.Tasks = append(doc.Tasks, fromTask(t))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadPartition decodes a partition file back into per-core task sets.
+func ReadPartition(r io.Reader) (core.Partition, error) {
+	var doc PartitionJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return core.Partition{}, fmt.Errorf("mcsio: decode: %w", err)
+	}
+	if doc.Version != 0 && doc.Version != FormatVersion {
+		return core.Partition{}, fmt.Errorf("mcsio: unsupported version %d (supported: %d)", doc.Version, FormatVersion)
+	}
+	byID := make(map[int]mcs.Task, len(doc.Tasks))
+	for _, j := range doc.Tasks {
+		t, err := toTask(j)
+		if err != nil {
+			return core.Partition{}, err
+		}
+		if _, dup := byID[t.ID]; dup {
+			return core.Partition{}, fmt.Errorf("mcsio: duplicate task ID %d", t.ID)
+		}
+		byID[t.ID] = t
+	}
+	p := core.Partition{Cores: make([]mcs.TaskSet, len(doc.Cores))}
+	seen := make(map[int]bool)
+	for k, ids := range doc.Cores {
+		for _, id := range ids {
+			t, ok := byID[id]
+			if !ok {
+				return core.Partition{}, fmt.Errorf("mcsio: core %d references unknown task %d", k, id)
+			}
+			if seen[id] {
+				return core.Partition{}, fmt.Errorf("mcsio: task %d assigned to multiple cores", id)
+			}
+			seen[id] = true
+			p.Cores[k] = append(p.Cores[k], t)
+		}
+	}
+	return p, nil
+}

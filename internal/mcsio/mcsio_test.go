@@ -1,0 +1,169 @@
+package mcsio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mcsched/internal/analysis/edfvd"
+	"mcsched/internal/core"
+	"mcsched/internal/mcs"
+	"mcsched/internal/taskgen"
+)
+
+func sampleSet(t *testing.T) mcs.TaskSet {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	ts, err := taskgen.Generate(rng, taskgen.DefaultConfig(2, 0.5, 0.3, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestTaskSetRoundTrip(t *testing.T) {
+	ts := sampleSet(t)
+	var buf bytes.Buffer
+	if err := WriteTaskSet(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTaskSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("got %d tasks, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Fatalf("task %d: %+v != %+v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestTaskSetRoundTripHandBuilt(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 2, 5, 10),
+		mcs.NewLCConstrained(1, 3, 20, 15),
+	}
+	ts[0].Name = "engine"
+	var buf bytes.Buffer
+	if err := WriteTaskSet(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTaskSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Name != "engine" || got[0] != ts[0] || got[1] != ts[1] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, ts)
+	}
+}
+
+func TestReadTaskSetDerivesUtilizations(t *testing.T) {
+	in := `{"version":1,"tasks":[{"id":0,"crit":"HI","period":10,"deadline":10,"c_lo":2,"c_hi":5}]}`
+	ts, err := ReadTaskSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].ULo != 0.2 || ts[0].UHi != 0.5 {
+		t.Fatalf("derived utilizations %g,%g", ts[0].ULo, ts[0].UHi)
+	}
+}
+
+func TestReadTaskSetLCOmittedCHi(t *testing.T) {
+	in := `{"tasks":[{"id":0,"crit":"LO","period":10,"deadline":10,"c_lo":2}]}`
+	ts, err := ReadTaskSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].CHi() != 2 {
+		t.Fatalf("LC C^H not defaulted: %d", ts[0].CHi())
+	}
+}
+
+func TestReadTaskSetErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      `not json`,
+		"bad version":  `{"version":99,"tasks":[{"id":0,"crit":"LO","period":10,"deadline":10,"c_lo":2}]}`,
+		"bad crit":     `{"tasks":[{"id":0,"crit":"MID","period":10,"deadline":10,"c_lo":2}]}`,
+		"bad task":     `{"tasks":[{"id":0,"crit":"LO","period":0,"deadline":10,"c_lo":2}]}`,
+		"empty set":    `{"tasks":[]}`,
+		"duplicate id": `{"tasks":[{"id":0,"crit":"LO","period":10,"deadline":10,"c_lo":2},{"id":0,"crit":"LO","period":10,"deadline":10,"c_lo":2}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadTaskSet(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	ts := sampleSet(t)
+	algo := core.Algorithm{Strategy: core.CUUDP(), Test: edfvd.Test{}}
+	p, err := algo.Partition(ts, 2)
+	if err != nil {
+		t.Skip("sample set unpartitionable; seed choice")
+	}
+	var buf bytes.Buffer
+	if err := WritePartition(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cores) != len(p.Cores) {
+		t.Fatalf("cores %d vs %d", len(got.Cores), len(p.Cores))
+	}
+	for k := range p.Cores {
+		if len(got.Cores[k]) != len(p.Cores[k]) {
+			t.Fatalf("core %d: %d tasks vs %d", k, len(got.Cores[k]), len(p.Cores[k]))
+		}
+		for i := range p.Cores[k] {
+			if got.Cores[k][i] != p.Cores[k][i] {
+				t.Fatalf("core %d task %d differs", k, i)
+			}
+		}
+	}
+	// The decoded partition must still verify under the same algorithm.
+	if err := algo.Verify(ts, got); err != nil {
+		t.Fatalf("decoded partition fails verification: %v", err)
+	}
+}
+
+func TestReadPartitionErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      `nope`,
+		"bad version":  `{"version":7,"cores":[],"tasks":[]}`,
+		"unknown task": `{"cores":[[5]],"tasks":[]}`,
+		"double assignment": `{"cores":[[1],[1]],
+			"tasks":[{"id":1,"crit":"LO","period":10,"deadline":10,"c_lo":2}]}`,
+		"duplicate def": `{"cores":[[1]],
+			"tasks":[{"id":1,"crit":"LO","period":10,"deadline":10,"c_lo":2},
+			         {"id":1,"crit":"LO","period":10,"deadline":10,"c_lo":2}]}`,
+		"invalid def": `{"cores":[[1]],
+			"tasks":[{"id":1,"crit":"LO","period":10,"deadline":20,"c_lo":2}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadPartition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWritePartitionEmptyCores(t *testing.T) {
+	p := core.Partition{Cores: []mcs.TaskSet{nil, {mcs.NewLC(0, 1, 10)}}}
+	var buf bytes.Buffer
+	if err := WritePartition(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cores) != 2 || len(got.Cores[0]) != 0 || len(got.Cores[1]) != 1 {
+		t.Fatalf("empty core not preserved: %+v", got)
+	}
+}

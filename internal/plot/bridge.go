@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"fmt"
+
+	"mcsched/internal/experiments"
+)
+
+// FromSweep converts an acceptance-ratio sweep into a chart with UB on the
+// x axis and acceptance ratio on the y axis, one series per algorithm —
+// the layout of Figs. 3–5 of the paper.
+func FromSweep(r experiments.Result, title string) Chart {
+	c := Chart{
+		Title:  title,
+		XLabel: "UB (total normalized utilization)",
+		YLabel: "acceptance ratio",
+		YMax:   1,
+	}
+	for _, s := range r.Series {
+		ps := Series{Name: s.Name}
+		for _, p := range s.Points {
+			ps.X = append(ps.X, p.UB)
+			ps.Y = append(ps.Y, p.Ratio())
+		}
+		c.Series = append(c.Series, ps)
+	}
+	return c
+}
+
+// FromWAR converts a weighted-acceptance-ratio sweep into a chart with PH
+// on the x axis — the layout of Fig. 6.
+func FromWAR(r experiments.WARResult, title string) Chart {
+	c := Chart{
+		Title:  title,
+		XLabel: "PH (fraction of HC tasks)",
+		YLabel: "weighted acceptance ratio",
+		YMax:   1,
+	}
+	for _, s := range r.Series {
+		ps := Series{Name: s.Label()}
+		for _, p := range s.Points {
+			ps.X = append(ps.X, p.PH)
+			ps.Y = append(ps.Y, p.WAR)
+		}
+		c.Series = append(c.Series, ps)
+	}
+	return c
+}
+
+// FigureTitle builds the conventional panel title, e.g.
+// "Fig. 3b — acceptance ratio, implicit deadlines (m=4)".
+func FigureTitle(fig string, panel string, constrained bool, m int) string {
+	dl := "implicit deadlines"
+	if constrained {
+		dl = "constrained deadlines"
+	}
+	if panel != "" {
+		return fmt.Sprintf("Fig. %s%s — acceptance ratio, %s (m=%d)", fig, panel, dl, m)
+	}
+	return fmt.Sprintf("Fig. %s — acceptance ratio, %s (m=%d)", fig, dl, m)
+}

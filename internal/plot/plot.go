@@ -1,0 +1,200 @@
+// Package plot renders experiment results as CSV files, ASCII line charts
+// for terminals and standalone SVG documents. It depends only on the
+// standard library, keeping the module offline-buildable, and is deliberately
+// small: enough to regenerate every figure of the paper in a form a human
+// can read and a spreadsheet can ingest.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	// Name labels the series in legends and CSV headers.
+	Name string
+	// X and Y are the sample coordinates; lengths must match.
+	X, Y []float64
+}
+
+// Validate checks coordinate consistency.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// Chart is a collection of series with axis labels.
+type Chart struct {
+	// Title is rendered above the chart.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series are the lines, drawn in order.
+	Series []Series
+	// YMin and YMax fix the y range; both zero means auto-scale.
+	YMin, YMax float64
+}
+
+// Validate checks every series.
+func (c Chart) Validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bounds computes the data ranges of the chart, honouring fixed y bounds.
+func (c Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
+	if err := c.Validate(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 0, 0, 0, fmt.Errorf("plot: chart %q has no points", c.Title)
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// markers cycles through distinguishable ASCII glyphs per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// ASCII renders the chart as a width×height character canvas with a legend,
+// suitable for terminals and log files.
+func ASCII(c Chart, width, height int) (string, error) {
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		return "", err
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			row = height - 1 - row
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yaxis := func(row int) float64 {
+		frac := float64(height-1-row) / float64(height-1)
+		return ymin + frac*(ymax-ymin)
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%8.2f |%s|\n", yaxis(r), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.2f%*.2f\n", "", width/2, xmin, width-width/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// CSV renders the chart as a comma-separated table. Series are joined on
+// their x values (union of all x coordinates, sorted); missing samples are
+// left empty.
+func CSV(c Chart) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	xsSet := make(map[float64]bool)
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var b strings.Builder
+	b.WriteString(csvEscape(firstNonEmpty(c.XLabel, "x")))
+	for _, s := range c.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			b.WriteByte(',')
+			if y, ok := lookup(s, x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// csvEscape quotes a field when it contains separators or quotes.
+func csvEscape(f string) string {
+	if strings.ContainsAny(f, ",\"\n") {
+		return `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+	}
+	return f
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+
+	"mcsched/internal/mcs"
+)
+
+// TestMissingPriorityRunsLowest: tasks absent from the Priorities map run at
+// the lowest priority instead of crashing — a declared-priority task must
+// always preempt an undeclared one.
+func TestMissingPriorityRunsLowest(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewLC(0, 4, 10), // declared, highest
+		mcs.NewLC(1, 4, 10), // undeclared
+	}
+	r := SimulateCore(ts, Config{
+		Horizon:    100,
+		Policy:     FixedPriority,
+		Priorities: map[int]int{0: 0},
+		Scenario:   LoSteady{},
+	})
+	if len(r.Misses) != 0 {
+		t.Fatalf("u=0.8 pair missed under partial priorities: %v", r.Misses)
+	}
+	if r.Released == 0 || r.Completed == 0 {
+		t.Fatalf("nothing ran: %+v", r)
+	}
+}
+
+// TestVDOutOfRangeIgnored: virtual deadlines outside [1, D] fall back to
+// the real deadline rather than corrupting EDF keys.
+func TestVDOutOfRangeIgnored(t *testing.T) {
+	ts := mcs.TaskSet{mcs.NewHC(0, 2, 4, 10)}
+	for _, bad := range []mcs.Ticks{0, -3, 11, 1000} {
+		r := SimulateCore(ts, Config{
+			Horizon:  200,
+			Policy:   VirtualDeadlineEDF,
+			VD:       map[int]mcs.Ticks{0: bad},
+			Scenario: HiStorm{},
+		})
+		if len(r.Misses) != 0 {
+			t.Fatalf("VD=%d: single light task missed: %v", bad, r.Misses)
+		}
+	}
+}
+
+// TestStopOnMissAborts: StopOnMiss halts at the first miss, so an
+// overloaded core reports exactly one.
+func TestStopOnMissAborts(t *testing.T) {
+	over := mcs.TaskSet{
+		mcs.NewLC(0, 7, 10),
+		mcs.NewLC(1, 7, 10),
+	}
+	stop := SimulateCore(over, Config{Horizon: 1000, Scenario: LoSteady{}, StopOnMiss: true})
+	if len(stop.Misses) != 1 {
+		t.Fatalf("StopOnMiss produced %d misses", len(stop.Misses))
+	}
+	full := SimulateCore(over, Config{Horizon: 1000, Scenario: LoSteady{}})
+	if len(full.Misses) <= 1 {
+		t.Fatalf("full run produced %d misses; expected a stream", len(full.Misses))
+	}
+}
+
+// TestNoResetWithoutFlag: a core stays in HI mode after a switch unless
+// ResetOnIdle is set.
+func TestNoResetWithoutFlag(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 2, 4, 20),
+		mcs.NewLC(1, 2, 20),
+	}
+	r := SimulateCore(ts, Config{
+		Horizon:  1000,
+		Policy:   VirtualDeadlineEDF,
+		Scenario: SingleOverrun{OverrunTask: 0, OverrunJob: 0},
+	})
+	if len(r.Switches) != 1 {
+		t.Fatalf("want exactly one switch, got %v", r.Switches)
+	}
+	if len(r.Resets) != 0 {
+		t.Fatalf("reset without ResetOnIdle: %v", r.Resets)
+	}
+	if r.FinishedMode != mcs.HI {
+		t.Fatalf("finished in %v, want HI", r.FinishedMode)
+	}
+	if r.DroppedJobs == 0 {
+		t.Fatal("no LC jobs were shed after the permanent switch")
+	}
+}
+
+// TestResetRestoresLCService: with ResetOnIdle, LC jobs released after the
+// reset run again.
+func TestResetRestoresLCService(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 2, 4, 20),
+		mcs.NewLC(1, 2, 20),
+	}
+	r := SimulateCore(ts, Config{
+		Horizon:     1000,
+		Policy:      VirtualDeadlineEDF,
+		Scenario:    SingleOverrun{OverrunTask: 0, OverrunJob: 0},
+		ResetOnIdle: true,
+	})
+	if len(r.Resets) != 1 {
+		t.Fatalf("want one reset, got %v", r.Resets)
+	}
+	if r.FinishedMode != mcs.LO {
+		t.Fatalf("finished in %v, want LO after recovery", r.FinishedMode)
+	}
+	// 50 LC releases at T=20 over 1000 ticks; only the one overlapping the
+	// HI window may be lost.
+	if r.DroppedJobs > 2 {
+		t.Fatalf("recovery lost %d LC jobs", r.DroppedJobs)
+	}
+}
+
+// TestLCOnlyNeverSwitches: LC tasks cannot trigger a mode switch under any
+// scenario (their demand clamps to C^L).
+func TestLCOnlyNeverSwitches(t *testing.T) {
+	ts := mcs.TaskSet{mcs.NewLC(0, 3, 10), mcs.NewLC(1, 4, 15)}
+	for _, sc := range []Scenario{LoSteady{}, HiStorm{}, Random{Seed: 3, OverrunProb: 1, Jitter: 1}} {
+		r := SimulateCore(ts, Config{Horizon: 2000, Scenario: sc})
+		if len(r.Switches) != 0 {
+			t.Fatalf("%T switched an LC-only core", sc)
+		}
+	}
+}
+
+// TestBusyBookkeeping: busy time never exceeds the horizon, and completed
+// never exceeds released.
+func TestBusyBookkeeping(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 3, 6, 12),
+		mcs.NewLC(1, 4, 16),
+	}
+	for _, sc := range []Scenario{LoSteady{}, HiStorm{}, Random{Seed: 7, OverrunProb: 0.5, Jitter: 0.8}} {
+		r := SimulateCore(ts, Config{Horizon: 5000, Scenario: sc, ResetOnIdle: true})
+		if r.Busy > 5000 {
+			t.Fatalf("%T: busy %d > horizon", sc, r.Busy)
+		}
+		if r.Completed > r.Released {
+			t.Fatalf("%T: completed %d > released %d", sc, r.Completed, r.Released)
+		}
+	}
+}
+
+// TestXScalePathMatchesVDMap: configuring the uniform XScale must behave
+// like the equivalent per-task VD map built by VDFromX.
+func TestXScalePathMatchesVDMap(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 2, 5, 20),
+		mcs.NewHC(1, 3, 6, 30),
+		mcs.NewLC(2, 4, 25),
+	}
+	const x = 0.7
+	a := SimulateCore(ts, Config{
+		Horizon: 3000, Policy: VirtualDeadlineEDF, XScale: x, Scenario: HiStorm{},
+	})
+	b := SimulateCore(ts, Config{
+		Horizon: 3000, Policy: VirtualDeadlineEDF, VD: VDFromX(ts, x), Scenario: HiStorm{},
+	})
+	// XScale applies x·D exactly; VDFromX rounds up to integers. Behaviour
+	// may differ in preemption counts but not in feasibility outcomes here.
+	if a.OK() != b.OK() {
+		t.Fatalf("XScale vs VD map disagree: %v vs %v", a.Misses, b.Misses)
+	}
+	if a.Released != b.Released {
+		t.Fatalf("release streams diverged: %d vs %d", a.Released, b.Released)
+	}
+}
+
+// TestSimulatePartitionAggregates: per-core results land in order and the
+// totals add up.
+func TestSimulatePartitionAggregates(t *testing.T) {
+	cores := []mcs.TaskSet{
+		{mcs.NewHC(0, 2, 4, 10)},
+		{mcs.NewLC(1, 3, 12)},
+		nil,
+	}
+	res := SimulatePartition(cores, Config{Horizon: 1000, Scenario: HiStorm{}})
+	if len(res.Cores) != 3 {
+		t.Fatalf("%d core results", len(res.Cores))
+	}
+	if res.Cores[2].Released != 0 {
+		t.Fatal("empty core released jobs")
+	}
+	if res.TotalSwitches() != len(res.Cores[0].Switches)+len(res.Cores[1].Switches) {
+		t.Fatal("TotalSwitches inconsistent")
+	}
+	if !res.OK() {
+		t.Fatalf("light cores missed: %+v", res)
+	}
+	if res.TotalMisses() != 0 {
+		t.Fatal("TotalMisses inconsistent with OK")
+	}
+}
+
+// TestZeroHorizonAndEmptySet: degenerate configurations return zero-valued
+// results.
+func TestZeroHorizonAndEmptySet(t *testing.T) {
+	if r := SimulateCore(nil, Config{Horizon: 100}); r.Released != 0 {
+		t.Fatal("empty set released jobs")
+	}
+	ts := mcs.TaskSet{mcs.NewLC(0, 1, 10)}
+	if r := SimulateCore(ts, Config{Horizon: 0}); r.Released != 0 {
+		t.Fatal("zero horizon released jobs")
+	}
+	if r := SimulateCore(ts, Config{Horizon: -5}); r.Released != 0 {
+		t.Fatal("negative horizon released jobs")
+	}
+}

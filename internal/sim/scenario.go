@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand"
+
+	"mcsched/internal/mcs"
+)
+
+// Scenario drives the behaviour of jobs: how much each job actually
+// executes and how far apart releases are. Implementations must be
+// deterministic functions of (task, job index) so that repeated runs and
+// per-core runs agree.
+type Scenario interface {
+	// ExecTime returns the actual execution demand of the job-th job of
+	// the task. Values above C^L make an HC job trigger a mode switch;
+	// values are clamped into [1, C^H] by the engine ([1, C^L] for LC).
+	ExecTime(t mcs.Task, job int) mcs.Ticks
+	// Gap returns the separation between release job and release job+1,
+	// clamped to at least the period by the engine.
+	Gap(t mcs.Task, job int) mcs.Ticks
+}
+
+// LoSteady is the all-low-behaviour scenario: every job signals completion
+// at exactly C^L and releases are strictly periodic. No mode switch ever
+// occurs.
+type LoSteady struct{}
+
+// ExecTime implements Scenario.
+func (LoSteady) ExecTime(t mcs.Task, _ int) mcs.Ticks { return t.CLo() }
+
+// Gap implements Scenario.
+func (LoSteady) Gap(t mcs.Task, _ int) mcs.Ticks { return t.Period }
+
+// HiStorm makes every HC job run to its full HI budget — the first HC job
+// on each core triggers a mode switch immediately and the system stays
+// saturated. Releases are strictly periodic. This is the worst documented
+// stress for the HI-mode analyses.
+type HiStorm struct{}
+
+// ExecTime implements Scenario.
+func (HiStorm) ExecTime(t mcs.Task, _ int) mcs.Ticks { return t.CHi() }
+
+// Gap implements Scenario.
+func (HiStorm) Gap(t mcs.Task, _ int) mcs.Ticks { return t.Period }
+
+// Random draws per-job behaviour pseudo-randomly but deterministically from
+// (Seed, task ID, job index): HC jobs overrun with probability OverrunProb
+// (uniform in (C^L, C^H]), otherwise execute uniform in [1, C^L]; release
+// gaps stretch uniformly in [T, T·(1+Jitter)].
+type Random struct {
+	Seed        int64
+	OverrunProb float64
+	Jitter      float64
+}
+
+// rng builds the per-(task, job) deterministic generator.
+func (s Random) rng(t mcs.Task, job int) *rand.Rand {
+	h := s.Seed
+	h = h*1000003 + int64(t.ID) + 1
+	h = h*1000003 + int64(job) + 1
+	return rand.New(rand.NewSource(h))
+}
+
+// ExecTime implements Scenario.
+func (s Random) ExecTime(t mcs.Task, job int) mcs.Ticks {
+	r := s.rng(t, job)
+	if t.IsHC() && t.CHi() > t.CLo() && r.Float64() < s.OverrunProb {
+		return t.CLo() + 1 + mcs.Ticks(r.Int63n(int64(t.CHi()-t.CLo())))
+	}
+	return 1 + mcs.Ticks(r.Int63n(int64(t.CLo())))
+}
+
+// Gap implements Scenario.
+func (s Random) Gap(t mcs.Task, job int) mcs.Ticks {
+	if s.Jitter <= 0 {
+		return t.Period
+	}
+	r := s.rng(t, job)
+	r.Int63() // decorrelate from ExecTime's first draw
+	extra := mcs.Ticks(s.Jitter * float64(t.Period) * r.Float64())
+	return t.Period + extra
+}
+
+// SingleOverrun lets exactly one job — job index OverrunJob of task
+// OverrunTask — exceed its LO budget (running to C^H); every other job
+// behaves like LoSteady. It isolates one mode switch for tests and
+// examples.
+type SingleOverrun struct {
+	OverrunTask int
+	OverrunJob  int
+}
+
+// ExecTime implements Scenario.
+func (s SingleOverrun) ExecTime(t mcs.Task, job int) mcs.Ticks {
+	if t.ID == s.OverrunTask && job == s.OverrunJob {
+		return t.CHi()
+	}
+	return t.CLo()
+}
+
+// Gap implements Scenario.
+func (SingleOverrun) Gap(t mcs.Task, _ int) mcs.Ticks { return t.Period }

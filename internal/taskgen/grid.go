@@ -1,0 +1,77 @@
+package taskgen
+
+import (
+	"math"
+	"sort"
+)
+
+// Combo is one point of the paper's normalized-utilization grid.
+type Combo struct {
+	UHH, ULH, ULL float64
+}
+
+// UB returns the total normalized utilization of the combo.
+func (c Combo) UB() float64 { return math.Max(c.ULH+c.ULL, c.UHH) }
+
+// DefaultGrid enumerates the parameter grid of Section IV:
+//
+//	UHH ∈ {0.1, 0.2, …, 0.9, 0.99}
+//	ULH ∈ {0.05, 0.15, …} with ULH ≤ UHH
+//	ULL ∈ {0.05, 0.15, …} with ULL ≤ 0.99 − ULH
+func DefaultGrid() []Combo {
+	uhhs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99}
+	var grid []Combo
+	for _, uhh := range uhhs {
+		for ulh := 0.05; ulh <= uhh+1e-9; ulh += 0.1 {
+			for ull := 0.05; ull <= 0.99-ulh+1e-9; ull += 0.1 {
+				grid = append(grid, Combo{
+					UHH: uhh,
+					ULH: round2(ulh),
+					ULL: round2(ull),
+				})
+			}
+		}
+	}
+	return grid
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// Bucket groups combos by their UB value rounded to two decimals. The
+// paper generates 1000 task sets "for each value of total normalized
+// utilization UB"; a bucket collects every grid combo that realizes a given
+// UB, and generation cycles through them.
+type Bucket struct {
+	UB     float64
+	Combos []Combo
+}
+
+// BucketByUB groups a grid into UB buckets sorted by increasing UB.
+func BucketByUB(grid []Combo) []Bucket {
+	byUB := make(map[float64][]Combo)
+	for _, c := range grid {
+		key := round2(c.UB())
+		byUB[key] = append(byUB[key], c)
+	}
+	ubs := make([]float64, 0, len(byUB))
+	for ub := range byUB {
+		ubs = append(ubs, ub)
+	}
+	sort.Float64s(ubs)
+	out := make([]Bucket, 0, len(ubs))
+	for _, ub := range ubs {
+		out = append(out, Bucket{UB: ub, Combos: byUB[ub]})
+	}
+	return out
+}
+
+// FilterBuckets keeps buckets with UB in [lo, hi].
+func FilterBuckets(buckets []Bucket, lo, hi float64) []Bucket {
+	var out []Bucket
+	for _, b := range buckets {
+		if b.UB >= lo-1e-9 && b.UB <= hi+1e-9 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

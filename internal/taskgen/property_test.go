@@ -1,0 +1,165 @@
+package taskgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcsched/internal/mcs"
+)
+
+// TestLogUniformBoundsQuick: any (lo, hi) pair yields periods inside the
+// requested band.
+func TestLogUniformBoundsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func(a, b uint16) bool {
+		lo := mcs.Ticks(a%1000) + 1
+		hi := lo + mcs.Ticks(b%1000)
+		v := LogUniformTicks(rng, lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogUniformIsLogUniform: the median of draws from [10, 1000] sits near
+// the geometric mean (= 100), not the arithmetic midpoint (= 505).
+func TestLogUniformIsLogUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 20000
+	below := 0
+	for i := 0; i < n; i++ {
+		if LogUniformTicks(rng, 10, 1000) <= 100 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("P(T ≤ geo-mean) = %.3f, want ≈ 0.5", frac)
+	}
+}
+
+// TestRandFixedSumQuick: sum and bounds hold for arbitrary feasible
+// parameters.
+func TestRandFixedSumQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prop := func(nRaw uint8, sRaw, aRaw, bRaw uint16) bool {
+		n := int(nRaw%12) + 1
+		a := float64(aRaw%100) / 200 // [0, 0.5)
+		b := a + float64(bRaw%100)/200 + 0.01
+		if b > 1 {
+			b = 1
+		}
+		// Feasible total inside [n·a, n·b].
+		frac := float64(sRaw) / math.MaxUint16
+		s := float64(n)*a + frac*float64(n)*(b-a)
+		u, err := RandFixedSum(rng, n, s, a, b)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range u {
+			if v < a-1e-9 || v > b+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-s) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundedSumCappedQuick: per-element caps are respected and the sum is
+// hit whenever the draw succeeds.
+func TestBoundedSumCappedQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	prop := func(nRaw uint8, capsRaw [8]uint8) bool {
+		n := int(nRaw%8) + 1
+		caps := make([]float64, n)
+		var capSum float64
+		for i := 0; i < n; i++ {
+			caps[i] = 0.05 + float64(capsRaw[i]%90)/100
+			capSum += caps[i]
+		}
+		lo := 0.001
+		total := capSum / 2
+		if total < float64(n)*lo {
+			total = float64(n) * lo
+		}
+		u, err := BoundedSumCapped(rng, n, total, lo, caps)
+		if err != nil {
+			return true // infeasible corners may legitimately fail
+		}
+		var sum float64
+		for i, v := range u {
+			if v < lo-1e-9 || v > caps[i]+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-total) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateQuick: any feasible normalized-utilization triple yields a
+// valid task set whose realized totals respect the documented bounds.
+func TestGenerateQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(hhRaw, lhRaw, llRaw uint8, mRaw uint8) bool {
+		m := int(mRaw%4)*2 + 2 // 2,4,6,8
+		uhh := 0.1 + float64(hhRaw%80)/100
+		ulh := uhh * (0.2 + 0.75*float64(lhRaw%100)/100)
+		ull := 0.05 + float64(llRaw%60)/100
+		cfg := DefaultConfig(m, uhh, ulh, ull)
+		ts, err := Generate(rng, cfg)
+		if err != nil {
+			return true // infeasible grid corners are allowed to fail
+		}
+		if ts.Validate() != nil {
+			return false
+		}
+		fm := float64(m)
+		slack := float64(len(ts)) / (fm * float64(cfg.TMin))
+		okBand := func(got, target float64) bool {
+			return got >= target-1e-9 && got <= target+slack+1e-9
+		}
+		return okBand(ts.UHH()/fm, uhh) &&
+			okBand(ts.ULH()/fm, ulh) &&
+			okBand(ts.ULL()/fm, ull)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridBucketsPartitionGrid: bucketing is a partition of the grid — no
+// combo lost, none duplicated, and every combo lands in the bucket matching
+// its own UB.
+func TestGridBucketsPartitionGrid(t *testing.T) {
+	grid := DefaultGrid()
+	buckets := BucketByUB(grid)
+	n := 0
+	for _, b := range buckets {
+		for _, c := range b.Combos {
+			if math.Abs(c.UB()-b.UB) > 1e-9 {
+				t.Fatalf("combo %+v (UB %.3f) in bucket %.3f", c, c.UB(), b.UB)
+			}
+			n++
+		}
+	}
+	if n != len(grid) {
+		t.Fatalf("buckets hold %d combos, grid has %d", n, len(grid))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].UB <= buckets[i-1].UB {
+			t.Fatal("buckets not strictly increasing")
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package mcsched
+
+import (
+	"io"
+	"math/rand"
+
+	"mcsched/internal/analysis/amc"
+	"mcsched/internal/analysis/ecdf"
+	"mcsched/internal/analysis/edf"
+	"mcsched/internal/analysis/edfvd"
+	"mcsched/internal/analysis/ey"
+	"mcsched/internal/core"
+	"mcsched/internal/mcs"
+	"mcsched/internal/mcsio"
+	"mcsched/internal/taskgen"
+)
+
+// ---------------------------------------------------------------------------
+// Task model
+// ---------------------------------------------------------------------------
+
+// Ticks is the integer time unit: all periods, deadlines, budgets and
+// simulator timestamps are expressed in ticks.
+type Ticks = mcs.Ticks
+
+// Level is a criticality level (LO or HI).
+type Level = mcs.Level
+
+// Criticality levels of the dual-criticality model.
+const (
+	LO = mcs.LO
+	HI = mcs.HI
+)
+
+// Task is a dual-criticality sporadic task (T, χ, C^L, C^H, D).
+type Task = mcs.Task
+
+// TaskSet is an ordered collection of tasks.
+type TaskSet = mcs.TaskSet
+
+// NewLCTask returns a low-criticality task with budget c, period t and
+// implicit deadline (D = T).
+func NewLCTask(id int, c, t Ticks) Task { return mcs.NewLC(id, c, t) }
+
+// NewLCTaskD returns a low-criticality task with relative deadline d ≤ t.
+func NewLCTaskD(id int, c, t, d Ticks) Task { return mcs.NewLCConstrained(id, c, t, d) }
+
+// NewHCTask returns a high-criticality task with LO budget cl ≤ HI budget
+// ch, period t and implicit deadline.
+func NewHCTask(id int, cl, ch, t Ticks) Task { return mcs.NewHC(id, cl, ch, t) }
+
+// NewHCTaskD returns a high-criticality task with relative deadline d ≤ t.
+func NewHCTaskD(id int, cl, ch, t, d Ticks) Task { return mcs.NewHCConstrained(id, cl, ch, t, d) }
+
+// ---------------------------------------------------------------------------
+// Partitioning: strategies, tests, algorithms
+// ---------------------------------------------------------------------------
+
+// Test is a uniprocessor MC schedulability test consulted before every
+// task-to-core assignment.
+type Test = core.Test
+
+// Strategy is a partitioning strategy mapping tasks to processors.
+type Strategy = core.Strategy
+
+// Algorithm pairs a Strategy with a Test into a complete partitioned MC
+// scheduling algorithm, e.g. CU-UDP with EDF-VD.
+type Algorithm = core.Algorithm
+
+// Partition is a successful task-to-core assignment.
+type Partition = core.Partition
+
+// ErrUnpartitionable is wrapped by Partition errors when some task fits on
+// no processor.
+var ErrUnpartitionable = core.ErrUnpartitionable
+
+// CAUDP returns the paper's criticality-aware UDP strategy (Algorithm 1):
+// HC tasks first (worst-fit by utilization difference), then LC tasks
+// (first-fit), both classes sorted by decreasing utilization.
+func CAUDP() Strategy { return core.CAUDP() }
+
+// CUUDP returns the paper's criticality-unaware UDP strategy: one merged
+// decreasing-utilization order, HC tasks worst-fit by utilization
+// difference, LC tasks first-fit. The paper's best performer overall.
+func CUUDP() Strategy { return core.CUUDP() }
+
+// CANoSortFF returns the baseline of Baruah et al. (RTS 2014):
+// criticality-aware, unsorted, first-fit. With EDF-VD it is the only
+// partitioned MC algorithm with a proven speed-up bound (8/3).
+func CANoSortFF() Strategy { return core.CANoSortFF{} }
+
+// CAFF returns the baseline of Rodriguez et al. (WMC 2013):
+// criticality-aware, sorted, first-fit for both classes.
+func CAFF() Strategy { return core.CAFF{} }
+
+// CAWuF returns the criticality-aware worst-fit-by-HC-utilization strategy
+// that the paper's Figure 1 contrasts with CA-UDP.
+func CAWuF() Strategy { return core.CAWuF{} }
+
+// ECAWuF returns the enhanced criticality-aware strategy of Gu et al.
+// (DATE 2014), which allocates heavy LC tasks before the HC tasks.
+func ECAWuF() Strategy { return core.ECAWuF{} }
+
+// FFD returns classic first-fit decreasing — the best conventional (non-MC)
+// partitioning heuristic, as a reference point.
+func FFD() Strategy { return core.FFD{} }
+
+// WFD returns criticality-unaware worst-fit decreasing, the known-poor MC
+// heuristic mentioned in the paper's introduction, for ablations.
+func WFD() Strategy { return core.WFD{} }
+
+// Strategies returns every named strategy in a stable order.
+func Strategies() []Strategy { return core.Strategies() }
+
+// StrategyByName resolves a strategy from its Name() string.
+func StrategyByName(name string) (Strategy, bool) { return core.StrategyByName(name) }
+
+// ---------------------------------------------------------------------------
+// Uniprocessor schedulability tests
+// ---------------------------------------------------------------------------
+
+// EDFVD returns the utilization-based EDF-VD test of Baruah et al.
+// (ECRTS 2012) for implicit-deadline systems. Speed-up bound 4/3.
+func EDFVD() Test { return edfvd.Test{} }
+
+// EDFVDAnalysis exposes the scaling factor x computed by the EDF-VD test,
+// which the runtime simulator consumes as the virtual-deadline scale.
+type EDFVDAnalysis = edfvd.Result
+
+// AnalyzeEDFVD runs the EDF-VD test and returns the full analysis.
+func AnalyzeEDFVD(ts TaskSet) EDFVDAnalysis { return edfvd.Analyze(ts) }
+
+// ECDF returns the demand-bound-function test with per-task virtual
+// deadlines and tightened carry-over accounting (Easwaran, RTSS 2013). It
+// handles implicit and constrained deadlines and dominates EY.
+func ECDF() Test { return ecdf.Test{Opts: ecdf.DefaultOptions()} }
+
+// EY returns the Ekberg–Yi demand-bound test (ECRTS 2012), used by the
+// baseline algorithms ECA-Wu-F-EY and CA-F-F-EY.
+func EY() Test { return ey.Test{Opts: ey.DefaultOptions()} }
+
+// AMC returns the fixed-priority AMC-max response-time test of Baruah,
+// Burns and Davis (RTSS 2011) with Audsley optimal priority assignment —
+// the configuration the paper evaluates.
+func AMC() Test { return amc.Test{Opts: amc.DefaultOptions()} }
+
+// AMCVariant selects between the AMC-rtb and AMC-max analyses.
+type AMCVariant = amc.Variant
+
+// AMC analysis variants.
+const (
+	// AMCRtb is the simpler response-time bound (more pessimistic).
+	AMCRtb = amc.RTB
+	// AMCMax maximizes the response time over all mode-switch instants.
+	AMCMax = amc.Max
+)
+
+// AMCWith returns an AMC test with an explicit variant, using Audsley
+// priority assignment.
+func AMCWith(v AMCVariant) Test {
+	opts := amc.DefaultOptions()
+	opts.Variant = v
+	return amc.Test{Opts: opts}
+}
+
+// AMCDeadlineMonotonic returns the AMC-max test with plain deadline-
+// monotonic priorities instead of Audsley's optimal assignment — the
+// weaker, simpler policy, exposed for ablation studies.
+func AMCDeadlineMonotonic() Test {
+	return amc.Test{Opts: amc.Options{Variant: amc.Max, Policy: amc.DeadlineMonotonic}}
+}
+
+// AMCAnalysis carries the AMC verdict and, when schedulable, the priority
+// assignment (task ID → priority, 0 = highest) that passed the test — the
+// map a fixed-priority runtime must use.
+type AMCAnalysis = amc.Result
+
+// AnalyzeAMC runs the default AMC-max analysis with Audsley assignment and
+// returns the certified priorities.
+func AnalyzeAMC(ts TaskSet) AMCAnalysis { return amc.Analyze(ts, amc.DefaultOptions()) }
+
+// PlainEDF returns the conventional worst-case-reservation EDF test, which
+// provisions every task at its own criticality level's budget. demand
+// selects the demand-bound variant (needed for constrained deadlines);
+// otherwise the utilization test is used. Useful as a sanity baseline.
+func PlainEDF(demand bool) Test { return edf.Test{Demand: demand} }
+
+// Tests returns the paper's four uniprocessor MC tests in a stable order:
+// EDF-VD, ECDF, EY, AMC.
+func Tests() []Test {
+	return []Test{EDFVD(), ECDF(), EY(), AMC()}
+}
+
+// TestByName resolves a test from its Name() string.
+func TestByName(name string) (Test, bool) {
+	for _, t := range Tests() {
+		if t.Name() == name {
+			return t, true
+		}
+	}
+	switch name {
+	case "AMC-rtb":
+		return AMCWith(AMCRtb), true
+	case "EDF-util":
+		return PlainEDF(false), true
+	case "EDF-demand":
+		return PlainEDF(true), true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Task-set generation
+// ---------------------------------------------------------------------------
+
+// GenConfig parameterizes the fair task-set generator of the paper's
+// Section IV (WATERS 2016).
+type GenConfig = taskgen.Config
+
+// DefaultGenConfig returns the paper's generator defaults for m processors
+// and normalized utilizations (UHH, ULH, ULL).
+func DefaultGenConfig(m int, uhh, ulh, ull float64) GenConfig {
+	return taskgen.DefaultConfig(m, uhh, ulh, ull)
+}
+
+// Generate draws one task set. The rng makes generation deterministic and
+// concurrent callers independent.
+func Generate(rng *rand.Rand, cfg GenConfig) (TaskSet, error) {
+	return taskgen.Generate(rng, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Task-set / partition serialization
+// ---------------------------------------------------------------------------
+
+// WriteTaskSet encodes a task set as indented JSON.
+func WriteTaskSet(w io.Writer, ts TaskSet) error { return mcsio.WriteTaskSet(w, ts) }
+
+// ReadTaskSet decodes and validates a task set from JSON.
+func ReadTaskSet(r io.Reader) (TaskSet, error) { return mcsio.ReadTaskSet(r) }
+
+// WritePartition encodes a partition as self-contained JSON.
+func WritePartition(w io.Writer, p Partition) error { return mcsio.WritePartition(w, p) }
+
+// ReadPartition decodes a partition from JSON.
+func ReadPartition(r io.Reader) (Partition, error) { return mcsio.ReadPartition(r) }

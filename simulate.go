@@ -1,0 +1,161 @@
+package mcsched
+
+import (
+	"mcsched/internal/mcs"
+	"mcsched/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Runtime simulation
+// ---------------------------------------------------------------------------
+
+// SimConfig parameterizes a runtime simulation (horizon, policy, virtual
+// deadlines or priorities, execution scenario).
+type SimConfig = sim.Config
+
+// SimResult aggregates a partitioned simulation: per-core deadline misses,
+// mode switches, preemption and drop counts.
+type SimResult = sim.Result
+
+// CoreSimResult is the per-core portion of a SimResult.
+type CoreSimResult = sim.CoreResult
+
+// DeadlineMiss records one required deadline miss observed in simulation.
+type DeadlineMiss = sim.Miss
+
+// Scenario drives per-job execution times and release gaps in simulation.
+type Scenario = sim.Scenario
+
+// TraceEvent is one engine occurrence (release, exec chunk, completion,
+// preemption, mode switch, reset, drop, miss).
+type TraceEvent = sim.Event
+
+// TraceRecorder collects engine events; set it as SimConfig.Tracer and use
+// its Gantt method to render an ASCII timeline of the run.
+type TraceRecorder = sim.Recorder
+
+// Runtime policies for SimConfig.Policy.
+const (
+	// PolicyVirtualDeadlineEDF is preemptive EDF on virtual deadlines in LO
+	// mode (the EDF-VD/EY/ECDF runtime).
+	PolicyVirtualDeadlineEDF = sim.VirtualDeadlineEDF
+	// PolicyFixedPriority is preemptive fixed-priority scheduling (the AMC
+	// runtime).
+	PolicyFixedPriority = sim.FixedPriority
+)
+
+// ScenarioLoSteady has every job run for exactly its LO budget: the system
+// stays in LO mode forever.
+func ScenarioLoSteady() Scenario { return sim.LoSteady{} }
+
+// ScenarioHiStorm has every job run for its HI budget: each core mode-
+// switches as early as possible and stays loaded — the HI-mode stress case.
+func ScenarioHiStorm() Scenario { return sim.HiStorm{} }
+
+// ScenarioRandom draws per-job execution pseudo-randomly: HC jobs overrun
+// their LO budget with the given probability, and sporadic release gaps
+// stretch up to (1+jitter)·T. Deterministic per (seed, task, job index).
+func ScenarioRandom(seed int64, overrunProb, jitter float64) Scenario {
+	return sim.Random{Seed: seed, OverrunProb: overrunProb, Jitter: jitter}
+}
+
+// ScenarioSingleOverrun makes exactly one job of one task overrun to its HI
+// budget: the minimal mode-switch trigger, used to observe recovery.
+func ScenarioSingleOverrun(taskID, jobIdx int) Scenario {
+	return sim.SingleOverrun{OverrunTask: taskID, OverrunJob: jobIdx}
+}
+
+// SimulatePartition runs every core of the partition independently under
+// the configuration — the defining isolation property of partitioned
+// scheduling.
+func SimulatePartition(p Partition, cfg SimConfig) SimResult {
+	return sim.SimulatePartition(p.Cores, cfg)
+}
+
+// SimulateCore runs a single core.
+func SimulateCore(ts TaskSet, cfg SimConfig) CoreSimResult {
+	return sim.SimulateCore(ts, cfg)
+}
+
+// VirtualDeadlinesFromX converts an EDF-VD scaling factor x into the
+// per-task virtual deadline map SimConfig.VD expects.
+func VirtualDeadlinesFromX(ts TaskSet, x float64) map[int]Ticks {
+	return sim.VDFromX(ts, x)
+}
+
+// ValidatePartitionBySimulation simulates the partition under the LO-steady,
+// HI-storm and randomized scenarios with the virtual deadlines or priorities
+// implied by the named policy, and reports the first deadline miss found
+// (nil when all runs are miss-free). It is the library's executable
+// cross-check of an analytical acceptance.
+func ValidatePartitionBySimulation(p Partition, policy sim.PolicyKind, horizon Ticks, seed int64) *DeadlineMiss {
+	scenarios := []Scenario{
+		ScenarioLoSteady(),
+		ScenarioHiStorm(),
+		ScenarioRandom(seed, 0.2, 1.5),
+	}
+	for k, ts := range p.Cores {
+		if len(ts) == 0 {
+			continue
+		}
+		cfg := SimConfig{Horizon: horizon, Policy: policy, StopOnMiss: true}
+		switch policy {
+		case sim.VirtualDeadlineEDF:
+			res := AnalyzeEDFVD(ts)
+			x := res.X
+			if !res.Schedulable {
+				x = 1
+			}
+			cfg.VD = VirtualDeadlinesFromX(ts, x)
+		case sim.FixedPriority:
+			// Use the priorities the AMC analysis certified; fall back to
+			// deadline-monotonic when the core was not accepted by AMC.
+			if res := AnalyzeAMC(ts); res.Schedulable {
+				cfg.Priorities = res.Priority
+			} else {
+				cfg.Priorities = deadlineMonotonicPriorities(ts)
+			}
+		}
+		for _, sc := range scenarios {
+			cfg.Scenario = sc
+			r := sim.SimulateCore(ts, cfg)
+			if len(r.Misses) > 0 {
+				m := r.Misses[0]
+				_ = k
+				return &m
+			}
+		}
+	}
+	return nil
+}
+
+// deadlineMonotonicPriorities assigns fixed priorities by increasing
+// relative deadline (ties: HC before LC, then by ID), the standard
+// constrained-deadline default.
+func deadlineMonotonicPriorities(ts TaskSet) map[int]int {
+	idx := make([]int, len(ts))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort keeps this dependency-free and stable.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && dmLess(ts[idx[j]], ts[idx[j-1]]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	prio := make(map[int]int, len(ts))
+	for p, i := range idx {
+		prio[ts[i].ID] = p
+	}
+	return prio
+}
+
+func dmLess(a, b mcs.Task) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	if a.IsHC() != b.IsHC() {
+		return a.IsHC()
+	}
+	return a.ID < b.ID
+}

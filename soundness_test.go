@@ -1,0 +1,116 @@
+package mcsched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAcceptedPartitionsNeverMissEDFVD is the library's central soundness
+// property: any partition accepted by the EDF-VD analysis must be miss-free
+// in simulation under the LO-steady, HI-storm and randomized scenarios.
+// This exercises the whole chain generator → partitioner → analysis →
+// virtual-deadline runtime.
+func TestAcceptedPartitionsNeverMissEDFVD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soundness sweep")
+	}
+	algo := Algorithm{Strategy: CUUDP(), Test: EDFVD()}
+	checked := 0
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultGenConfig(2, 0.3+0.05*float64(seed%8), 0.2, 0.3)
+		ts, err := Generate(rng, cfg)
+		if err != nil {
+			continue
+		}
+		p, err := algo.Partition(ts, 2)
+		if err != nil {
+			continue
+		}
+		checked++
+		if miss := ValidatePartitionBySimulation(p, PolicyVirtualDeadlineEDF, 50000, seed); miss != nil {
+			t.Fatalf("seed %d: accepted partition missed: %v\nset: %v", seed, *miss, ts)
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d accepted partitions exercised; sweep too weak", checked)
+	}
+}
+
+// TestAcceptedPartitionsNeverMissAMC is the fixed-priority counterpart: the
+// simulator runs with the exact priorities Audsley's algorithm certified.
+func TestAcceptedPartitionsNeverMissAMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soundness sweep")
+	}
+	algo := Algorithm{Strategy: CUUDP(), Test: AMC()}
+	checked := 0
+	for seed := int64(200); seed < 280; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultGenConfig(2, 0.3+0.05*float64(seed%6), 0.15, 0.25)
+		cfg.Constrained = seed%2 == 0
+		ts, err := Generate(rng, cfg)
+		if err != nil {
+			continue
+		}
+		p, err := algo.Partition(ts, 2)
+		if err != nil {
+			continue
+		}
+		checked++
+		if miss := ValidatePartitionBySimulation(p, PolicyFixedPriority, 50000, seed); miss != nil {
+			t.Fatalf("seed %d: accepted partition missed: %v\nset: %v", seed, *miss, ts)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d accepted partitions exercised; sweep too weak", checked)
+	}
+}
+
+// TestAcceptedPartitionsNeverMissECDF validates the demand-bound chain: the
+// ECDF per-task virtual deadlines drive the runtime directly.
+func TestAcceptedPartitionsNeverMissECDF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soundness sweep")
+	}
+	algo := Algorithm{Strategy: CAUDP(), Test: ECDF()}
+	checked := 0
+	for seed := int64(400); seed < 460; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultGenConfig(2, 0.35, 0.2, 0.25)
+		cfg.Constrained = true
+		ts, err := Generate(rng, cfg)
+		if err != nil {
+			continue
+		}
+		p, err := algo.Partition(ts, 2)
+		if err != nil {
+			continue
+		}
+		checked++
+		// The generic validator uses the EDF-VD x per core; ECDF-accepted
+		// cores may not be EDF-VD-schedulable, in which case x=1 (true
+		// deadlines) — still a legal virtual-deadline configuration whose
+		// LO mode equals plain EDF. The stronger check with ECDF's own
+		// deadline assignment lives in the integration tests; here we only
+		// require that realized behaviour is miss-free in LO-steady runs
+		// (no mode switch ⇒ LO-mode EDF on true deadlines must suffice for
+		// any dbf-accepted core).
+		for _, ts := range p.Cores {
+			if len(ts) == 0 {
+				continue
+			}
+			res := SimulateCore(ts, SimConfig{
+				Horizon:  50000,
+				Policy:   PolicyVirtualDeadlineEDF,
+				Scenario: ScenarioLoSteady(),
+			})
+			if !res.OK() {
+				t.Fatalf("seed %d: ECDF-accepted core missed in LO steady state: %v", seed, res.Misses)
+			}
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d accepted partitions exercised; sweep too weak", checked)
+	}
+}
