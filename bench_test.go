@@ -309,6 +309,110 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Admission-control service hot path
+// ---------------------------------------------------------------------------
+
+// admitTasks draws a stream of distinct small tasks for admission benches.
+func admitTasks(b *testing.B, n int) TaskSet {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2024))
+	out := make(TaskSet, 0, n)
+	for i := 0; i < n; i++ {
+		t := Ticks(10 + rng.Intn(490))
+		cl := 1 + Ticks(rng.Intn(int(t/10+1)))
+		if rng.Intn(2) == 0 {
+			ch := cl + Ticks(rng.Intn(int(t/5+1)))
+			if ch > t {
+				ch = t
+			}
+			out = append(out, NewHCTask(i, cl, ch, t))
+		} else {
+			out = append(out, NewLCTask(i, cl, t))
+		}
+	}
+	return out
+}
+
+// benchAdmitSingle measures one admit+release cycle against a loaded
+// tenant. The admit/release pair makes every iteration revisit the same
+// candidate multisets, so with the verdict cache enabled (warm) the steady
+// state answers all analyses from the cache; cold disables the cache, so
+// every decision pays for fresh analyses.
+func benchAdmitSingle(b *testing.B, warm bool) {
+	cfg := DefaultAdmissionConfig()
+	if !warm {
+		cfg.CacheCapacity = -1
+	}
+	ctrl := NewAdmissionController(cfg)
+	sys, err := ctrl.CreateSystem("bench", 8, EDFVD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := admitTasks(b, 256)
+	// Pre-load half the stream so admits land on non-trivial cores.
+	for _, t := range stream[:128] {
+		if _, err := sys.Admit(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cycle := func(task Task) {
+		res, err := sys.Admit(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Admitted {
+			if _, err := sys.Release(task.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if warm {
+		for _, task := range stream[128:] {
+			cycle(task)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(stream[128+i%128])
+	}
+}
+
+// BenchmarkAdmitSingleCold measures the admit hot path with every decision
+// paying for a fresh schedulability analysis.
+func BenchmarkAdmitSingleCold(b *testing.B) { benchAdmitSingle(b, false) }
+
+// BenchmarkAdmitSingleWarm measures the same hot path answered by the
+// verdict cache — the steady state of probe-then-admit service traffic.
+func BenchmarkAdmitSingleWarm(b *testing.B) { benchAdmitSingle(b, true) }
+
+// BenchmarkAdmitBatch64 measures an all-or-nothing 64-task batch admit
+// (plus the release that resets the tenant between iterations).
+func BenchmarkAdmitBatch64(b *testing.B) {
+	ctrl := NewAdmissionController(DefaultAdmissionConfig())
+	sys, err := ctrl.CreateSystem("bench", 8, EDFVD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := admitTasks(b, 64)
+	ids := make([]int, len(batch))
+	for i, t := range batch {
+		ids[i] = t.ID
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.AdmitBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Admitted {
+			if _, err := sys.Release(ids...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkSpeedupSurvey measures the empirical speed-up sweep that
 // accompanies the 8/3 theorem, and reports the observed mean and max
 // speeds for CU-UDP-EDF-VD.

@@ -1,0 +1,78 @@
+// Command mcschedd serves mixed-criticality admission control over HTTP:
+// scheduling-as-a-service on top of the online admission controller. Each
+// tenant ("system") is a live task-to-core partition gated by one of the
+// library's uniprocessor schedulability tests; tasks are admitted, probed
+// and released at runtime using the paper's utilization-difference
+// placement order, with only the affected core re-analyzed per decision.
+//
+//	mcschedd -addr :8080
+//
+//	curl -s localhost:8080/v1/systems -d '{"processors":4,"test":"EDF-VD"}'
+//	curl -s localhost:8080/v1/systems/s1/admit \
+//	     -d '{"task":{"id":1,"crit":"HI","period":10,"deadline":10,"c_lo":2,"c_hi":4}}'
+//	curl -s localhost:8080/v1/systems/s1/probe \
+//	     -d '{"task":{"id":2,"crit":"LO","period":12,"deadline":12,"c_lo":3,"c_hi":3}}'
+//	curl -s localhost:8080/v1/systems/s1/release -d '{"task_id":1}'
+//	curl -s localhost:8080/v1/systems/s1
+//	curl -s localhost:8080/v1/stats
+//
+// Endpoints:
+//
+//	POST   /v1/systems              create a tenant {id?, processors, test}
+//	GET    /v1/systems              list tenant IDs
+//	GET    /v1/systems/{id}         partition snapshot + per-core utilizations
+//	DELETE /v1/systems/{id}         drop a tenant
+//	POST   /v1/systems/{id}/admit   admit one task {"task":…} or a batch {"tasks":[…]}
+//	POST   /v1/systems/{id}/probe   same shapes, no commit
+//	POST   /v1/systems/{id}/release release {"task_id":…} or {"task_ids":[…]}
+//	GET    /v1/stats                controller counters (admits, cache hits, …)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcsched/internal/admission"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 16, "tenant-map stripes")
+	cacheCap := flag.Int("cache", 4096, "verdict-cache capacity (0 = default, negative disables)")
+	flag.Parse()
+
+	ctrl := admission.NewController(admission.Config{
+		Shards:        *shards,
+		CacheCapacity: *cacheCap,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(ctrl),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mcschedd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mcschedd: %v", err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mcschedd: shutdown: %v", err)
+	}
+}

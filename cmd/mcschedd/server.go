@@ -1,0 +1,299 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mcsched"
+	"mcsched/internal/admission"
+	"mcsched/internal/mcs"
+	"mcsched/internal/mcsio"
+)
+
+// server is the HTTP face of one admission.Controller. It owns no state of
+// its own: every handler resolves a tenant, delegates, and renders JSON, so
+// all concurrency control lives in the admission package.
+type server struct {
+	ctrl *admission.Controller
+	mux  *http.ServeMux
+}
+
+func newServer(ctrl *admission.Controller) *server {
+	s := &server{ctrl: ctrl, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/systems", s.handleCreateSystem)
+	s.mux.HandleFunc("GET /v1/systems", s.handleListSystems)
+	s.mux.HandleFunc("GET /v1/systems/{id}", s.handleGetSystem)
+	s.mux.HandleFunc("DELETE /v1/systems/{id}", s.handleDeleteSystem)
+	s.mux.HandleFunc("POST /v1/systems/{id}/admit", s.handleDecide(true))
+	s.mux.HandleFunc("POST /v1/systems/{id}/probe", s.handleDecide(false))
+	s.mux.HandleFunc("POST /v1/systems/{id}/release", s.handleRelease)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---------------------------------------------------------------------------
+// Wire types (request side; responses reuse admission and mcsio types)
+// ---------------------------------------------------------------------------
+
+type createSystemRequest struct {
+	// ID is the tenant identifier; empty draws a generated one.
+	ID string `json:"id"`
+	// Processors is the core count m > 0.
+	Processors int `json:"processors"`
+	// Test names the uniprocessor schedulability test, e.g. "EDF-VD",
+	// "ECDF", "EY", "AMC-max", "AMC-rtb".
+	Test string `json:"test"`
+}
+
+type createSystemResponse struct {
+	ID         string `json:"id"`
+	Processors int    `json:"processors"`
+	Test       string `json:"test"`
+}
+
+// admitRequest carries one task or a batch — exactly one of the two fields.
+type admitRequest struct {
+	Task  *mcsio.TaskJSON  `json:"task,omitempty"`
+	Tasks []mcsio.TaskJSON `json:"tasks,omitempty"`
+}
+
+type releaseRequest struct {
+	TaskID  *int  `json:"task_id,omitempty"`
+	TaskIDs []int `json:"task_ids,omitempty"`
+}
+
+type releaseResponse struct {
+	Released int `json:"released"`
+}
+
+type coreStatus struct {
+	Tasks    int     `json:"tasks"`
+	ULL      float64 `json:"ull"`
+	ULH      float64 `json:"ulh"`
+	UHH      float64 `json:"uhh"`
+	UtilDiff float64 `json:"util_diff"`
+}
+
+type systemResponse struct {
+	ID         string              `json:"id"`
+	Processors int                 `json:"processors"`
+	Test       string              `json:"test"`
+	Tasks      int                 `json:"tasks"`
+	Cores      []coreStatus        `json:"cores"`
+	Partition  mcsio.PartitionJSON `json:"partition"`
+}
+
+type listSystemsResponse struct {
+	Systems []string `json:"systems"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func (s *server) handleCreateSystem(w http.ResponseWriter, r *http.Request) {
+	var req createSystemRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	test, ok := mcsched.TestByName(req.Test)
+	if !ok {
+		fail(w, http.StatusBadRequest, fmt.Errorf("unknown test %q", req.Test))
+		return
+	}
+	sys, err := s.ctrl.CreateSystem(req.ID, req.Processors, test)
+	if err != nil {
+		fail(w, statusOf(err), err)
+		return
+	}
+	reply(w, http.StatusCreated, createSystemResponse{
+		ID:         sys.ID(),
+		Processors: sys.NumCores(),
+		Test:       sys.TestName(),
+	})
+}
+
+func (s *server) handleListSystems(w http.ResponseWriter, r *http.Request) {
+	ids := s.ctrl.SystemIDs()
+	if ids == nil {
+		ids = []string{}
+	}
+	reply(w, http.StatusOK, listSystemsResponse{Systems: ids})
+}
+
+func (s *server) handleGetSystem(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.ctrl.System(r.PathValue("id"))
+	if err != nil {
+		fail(w, statusOf(err), err)
+		return
+	}
+	p := sys.Snapshot()
+	resp := systemResponse{
+		ID:         sys.ID(),
+		Processors: sys.NumCores(),
+		Test:       sys.TestName(),
+		Tasks:      p.NumTasks(),
+		Partition:  mcsio.PartitionToJSON(p),
+	}
+	for _, c := range p.Cores {
+		resp.Cores = append(resp.Cores, coreStatus{
+			Tasks:    len(c),
+			ULL:      c.ULL(),
+			ULH:      c.ULH(),
+			UHH:      c.UHH(),
+			UtilDiff: c.UtilDiff(),
+		})
+	}
+	reply(w, http.StatusOK, resp)
+}
+
+func (s *server) handleDeleteSystem(w http.ResponseWriter, r *http.Request) {
+	if err := s.ctrl.RemoveSystem(r.PathValue("id")); err != nil {
+		fail(w, statusOf(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDecide serves both /admit (commit=true) and /probe (commit=false):
+// the request shapes and responses are identical, only the commit differs.
+func (s *server) handleDecide(commit bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sys, err := s.ctrl.System(r.PathValue("id"))
+		if err != nil {
+			fail(w, statusOf(err), err)
+			return
+		}
+		var req admitRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		switch {
+		case req.Task != nil && req.Tasks == nil:
+			task, err := mcsio.TaskFromJSON(*req.Task)
+			if err != nil {
+				fail(w, http.StatusBadRequest, err)
+				return
+			}
+			var res admission.AdmitResult
+			if commit {
+				res, err = sys.Admit(task)
+			} else {
+				res, err = sys.Probe(task)
+			}
+			if err != nil {
+				fail(w, statusOf(err), err)
+				return
+			}
+			reply(w, http.StatusOK, res)
+		case req.Tasks != nil && req.Task == nil:
+			batch := make(mcs.TaskSet, 0, len(req.Tasks))
+			for _, j := range req.Tasks {
+				task, err := mcsio.TaskFromJSON(j)
+				if err != nil {
+					fail(w, http.StatusBadRequest, err)
+					return
+				}
+				batch = append(batch, task)
+			}
+			var res admission.BatchResult
+			if commit {
+				res, err = sys.AdmitBatch(batch)
+			} else {
+				res, err = sys.ProbeBatch(batch)
+			}
+			if err != nil {
+				fail(w, statusOf(err), err)
+				return
+			}
+			reply(w, http.StatusOK, res)
+		default:
+			fail(w, http.StatusBadRequest,
+				errors.New(`body must carry exactly one of "task" or "tasks"`))
+		}
+	}
+}
+
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.ctrl.System(r.PathValue("id"))
+	if err != nil {
+		fail(w, statusOf(err), err)
+		return
+	}
+	var req releaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var ids []int
+	switch {
+	case req.TaskID != nil && req.TaskIDs == nil:
+		ids = []int{*req.TaskID}
+	case req.TaskIDs != nil && req.TaskID == nil:
+		ids = req.TaskIDs
+	default:
+		fail(w, http.StatusBadRequest,
+			errors.New(`body must carry exactly one of "task_id" or "task_ids"`))
+		return
+	}
+	if len(ids) == 0 {
+		fail(w, http.StatusBadRequest, errors.New(`"task_ids" must not be empty`))
+		return
+	}
+	released, err := sys.Release(ids...)
+	if err != nil {
+		fail(w, statusOf(err), err)
+		return
+	}
+	reply(w, http.StatusOK, releaseResponse{Released: released})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	reply(w, http.StatusOK, s.ctrl.Stats())
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+// decode strictly parses the JSON request body into dst; on failure it
+// writes a 400 and returns false.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// statusOf maps admission sentinel errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, admission.ErrNoSystem), errors.Is(err, admission.ErrUnknownTask):
+		return http.StatusNotFound
+	case errors.Is(err, admission.ErrDuplicateSystem), errors.Is(err, admission.ErrDuplicateTask):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func reply(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func fail(w http.ResponseWriter, status int, err error) {
+	reply(w, status, errorResponse{Error: err.Error()})
+}

@@ -23,12 +23,18 @@
 //   - a discrete-event runtime simulator for partitioned virtual-deadline
 //     EDF and fixed-priority AMC, used to validate accepted partitions;
 //   - the full experiment harness that regenerates every figure of the
-//     paper (acceptance-ratio sweeps and weighted acceptance ratios).
+//     paper (acceptance-ratio sweeps and weighted acceptance ratios);
+//   - an online admission-control subsystem (AdmissionController) that
+//     keeps live per-core partitions for many tenants and admits, probes
+//     and releases tasks at runtime using the paper's utilization-
+//     difference placement order, re-analyzing only the affected core and
+//     memoizing verdicts in a task-multiset-keyed cache.
 //
 // This root package is a stable facade: it re-exports the types and
 // functions a downstream user needs, while the implementation lives in
-// internal packages. See the examples directory for runnable programs and
-// cmd/mcfigures for the figure-regeneration tool.
+// internal packages. See the examples directory for runnable programs,
+// cmd/mcfigures for the figure-regeneration tool, and cmd/mcschedd for the
+// scheduling-as-a-service HTTP daemon built on the admission controller.
 //
 // # Quick start
 //

@@ -1,0 +1,3 @@
+module mcsched
+
+go 1.24

@@ -1,0 +1,205 @@
+// Package admission is the online counterpart of the offline UDP
+// partitioning strategies: a controller that maintains live per-core
+// assignments for many independent tenants ("systems") and admits,
+// probes and releases tasks one at a time or in batches against them.
+//
+// Placement follows the paper's utilization-difference heuristic applied
+// online — an arriving HC task is offered to cores worst-fit by
+// UHH(φ_k) − ULH(φ_k), an LC task first-fit — and each candidate core is
+// judged by re-running only that core's uniprocessor schedulability test
+// (EDF-VD, ECDF, EY or AMC via the core.Test interface). A rejected task
+// leaves all state untouched; a released task frees its core with no
+// re-analysis, because all four tests are sustainable under task removal.
+//
+// Verdicts are memoized in a sharded LRU keyed by a task-multiset hash, so
+// repeated admit/probe traffic over the same candidate sets (the common
+// probe-then-admit pattern, and churn that revisits recent states) skips
+// re-analysis entirely. Tenant state is striped across mutex-guarded
+// shards; the controller is safe for heavy concurrent use and is the
+// engine behind the cmd/mcschedd daemon.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mcsched/internal/core"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Shards is the number of stripes of the tenant map; more stripes,
+	// less create/lookup contention. Defaults to 16.
+	Shards int
+	// CacheCapacity is the total number of memoized schedulability
+	// verdicts kept across all cache stripes. 0 selects the default
+	// (4096); negative disables caching.
+	CacheCapacity int
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config { return Config{Shards: 16, CacheCapacity: 4096} }
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 4096
+	}
+	return c
+}
+
+// counters holds the controller-wide atomic counters. Systems bump them
+// directly; Stats() snapshots them.
+type counters struct {
+	admits, rejects, probes, releases uint64
+	testsRun, cacheHits               uint64
+}
+
+// tenantShard is one stripe of the tenant map.
+type tenantShard struct {
+	mu sync.RWMutex
+	m  map[string]*System
+}
+
+// Controller owns the tenant systems and the shared verdict cache.
+type Controller struct {
+	cfg    Config
+	shards []tenantShard
+	cache  *verdictCache
+	stats  counters
+	nextID uint64
+}
+
+// NewController returns an empty controller.
+func NewController(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:    cfg,
+		shards: make([]tenantShard, cfg.Shards),
+		cache:  newVerdictCache(cfg.CacheCapacity, cfg.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*System)
+	}
+	return c
+}
+
+func (c *Controller) shard(id string) *tenantShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// MaxProcessors bounds the per-tenant core count. The placement loop sorts
+// and scans all cores per decision and the assigner allocates O(m) state,
+// so an unbounded m would let one create request pin arbitrary memory —
+// 4096 is far above any platform the analyses model.
+const MaxProcessors = 4096
+
+// CreateSystem registers a new tenant over m processors gated by test. An
+// empty id draws a fresh "s<n>" identifier (skipping any "s<n>" a client
+// claimed explicitly). The returned system is live immediately.
+func (c *Controller) CreateSystem(id string, m int, test core.Test) (*System, error) {
+	if m <= 0 || m > MaxProcessors {
+		return nil, fmt.Errorf("admission: m=%d processors (must be in 1..%d)", m, MaxProcessors)
+	}
+	if test == nil {
+		return nil, fmt.Errorf("admission: nil test")
+	}
+	if id != "" {
+		return c.insert(id, m, test)
+	}
+	for {
+		candidate := fmt.Sprintf("s%d", atomic.AddUint64(&c.nextID, 1))
+		sys, err := c.insert(candidate, m, test)
+		if errors.Is(err, ErrDuplicateSystem) {
+			continue
+		}
+		return sys, err
+	}
+}
+
+func (c *Controller) insert(id string, m int, test core.Test) (*System, error) {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.m[id]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSystem, id)
+	}
+	sys := newSystem(id, m, test, c.cache, &c.stats)
+	sh.m[id] = sys
+	return sys, nil
+}
+
+// System resolves a tenant by ID.
+func (c *Controller) System(id string) (*System, error) {
+	sh := c.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sys, ok := sh.m[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSystem, id)
+	}
+	return sys, nil
+}
+
+// RemoveSystem drops a tenant and all its state.
+func (c *Controller) RemoveSystem(id string) error {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSystem, id)
+	}
+	delete(sh.m, id)
+	return nil
+}
+
+// SystemIDs returns every tenant ID in sorted order.
+func (c *Controller) SystemIDs() []string {
+	var ids []string
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		for id := range c.shards[i].m {
+			ids = append(ids, id)
+		}
+		c.shards[i].mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats snapshots the controller counters and gauges.
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		Admits:    atomic.LoadUint64(&c.stats.admits),
+		Rejects:   atomic.LoadUint64(&c.stats.rejects),
+		Probes:    atomic.LoadUint64(&c.stats.probes),
+		Releases:  atomic.LoadUint64(&c.stats.releases),
+		TestsRun:  atomic.LoadUint64(&c.stats.testsRun),
+		CacheHits: atomic.LoadUint64(&c.stats.cacheHits),
+		CacheSize: c.cache.len(),
+	}
+	// Collect the tenants under the shard locks, then query each outside
+	// them: NumTasks takes the system mutex, and holding a shard RLock
+	// across a tenant mid-analysis would stall create/delete on the shard.
+	var systems []*System
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		for _, sys := range c.shards[i].m {
+			systems = append(systems, sys)
+		}
+		c.shards[i].mu.RUnlock()
+	}
+	st.Systems = len(systems)
+	for _, sys := range systems {
+		st.Tasks += sys.NumTasks()
+	}
+	return st
+}

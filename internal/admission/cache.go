@@ -1,0 +1,169 @@
+package admission
+
+import (
+	"container/list"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+
+	"mcsched/internal/mcs"
+)
+
+// setKey is an order-independent fingerprint of a task multiset: per-task
+// hashes folded with two commutative combiners plus the cardinality. The
+// per-task hash is salted with a random per-cache seed, so a client who
+// controls task parameters cannot precompute a colliding multiset and
+// poison the shared verdict cache; within one cache, an accidental
+// collision on all 128+ bits is negligible. Task IDs and names are
+// excluded because schedulability verdicts depend only on the timing
+// parameters.
+type setKey struct {
+	sum, xor uint64
+	n        int
+}
+
+// taskHash fingerprints one task's timing parameters under the given seed.
+func taskHash(seed uint64, t mcs.Task) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(seed)
+	put(uint64(t.Crit))
+	put(uint64(t.Period))
+	put(uint64(t.Deadline))
+	put(uint64(t.CLo()))
+	put(uint64(t.CHi()))
+	put(math.Float64bits(t.ULo))
+	put(math.Float64bits(t.UHi))
+	return h.Sum64()
+}
+
+// keyOf folds the seeded task hashes of ts into a multiset key.
+func (c *verdictCache) keyOf(ts mcs.TaskSet) setKey {
+	var k setKey
+	for _, t := range ts {
+		h := taskHash(c.seed, t)
+		k.sum += h
+		k.xor ^= h
+	}
+	k.n = len(ts)
+	return k
+}
+
+// cacheKey identifies one cached verdict: which test judged which multiset.
+type cacheKey struct {
+	test string
+	set  setKey
+}
+
+// verdictCache is a sharded LRU of uniprocessor schedulability verdicts.
+// Striping keeps the daemon's concurrent tenants off one mutex; each stripe
+// evicts independently, so the configured capacity is split evenly.
+type verdictCache struct {
+	shards []cacheShard
+	perCap int
+	// seed salts the multiset hashes so cache keys are unpredictable to
+	// clients (drawn once per cache).
+	seed uint64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]*list.Element
+	ll *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key cacheKey
+	ok  bool
+}
+
+// newVerdictCache returns a cache of roughly the given total capacity split
+// over stripes; nil when capacity <= 0 (caching disabled).
+func newVerdictCache(capacity, stripes int) *verdictCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	if stripes > capacity {
+		stripes = capacity
+	}
+	c := &verdictCache{
+		shards: make([]cacheShard, stripes),
+		perCap: (capacity + stripes - 1) / stripes,
+		seed:   rand.Uint64(),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]*list.Element)
+		c.shards[i].ll = list.New()
+	}
+	return c
+}
+
+func (c *verdictCache) shard(k cacheKey) *cacheShard {
+	h := k.set.sum ^ (k.set.xor * 0x9e3779b97f4a7c15)
+	for _, b := range []byte(k.test) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// lookup returns (verdict, true) on a hit.
+func (c *verdictCache) lookup(k cacheKey) (bool, bool) {
+	if c == nil {
+		return false, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, hit := s.m[k]
+	if !hit {
+		return false, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(cacheEntry).ok, true
+}
+
+// store records a verdict, evicting the least recently used entry of the
+// stripe when full.
+func (c *verdictCache) store(k cacheKey, ok bool) {
+	if c == nil {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, dup := s.m[k]; dup {
+		s.ll.MoveToFront(el)
+		el.Value = cacheEntry{key: k, ok: ok}
+		return
+	}
+	for s.ll.Len() >= c.perCap {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		delete(s.m, old.Value.(cacheEntry).key)
+	}
+	s.m[k] = s.ll.PushFront(cacheEntry{key: k, ok: ok})
+}
+
+// len returns the number of cached verdicts across all stripes.
+func (c *verdictCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].ll.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

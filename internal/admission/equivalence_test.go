@@ -1,0 +1,228 @@
+package admission
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mcsched/internal/analysis/amc"
+	"mcsched/internal/analysis/ecdf"
+	"mcsched/internal/analysis/edfvd"
+	"mcsched/internal/analysis/ey"
+	"mcsched/internal/core"
+	"mcsched/internal/taskgen"
+)
+
+// allTests returns the paper's four uniprocessor tests, mirroring the
+// crosstest suite.
+func allTests() []core.Test {
+	return []core.Test{
+		edfvd.Test{},
+		ecdf.Test{Opts: ecdf.DefaultOptions()},
+		ey.Test{Opts: ey.DefaultOptions()},
+		amc.Test{Opts: amc.DefaultOptions()},
+	}
+}
+
+// certify asserts the invariant the whole subsystem exists to maintain:
+// every non-empty core of the snapshot passes the system's test — judged
+// directly by the raw test, bypassing the verdict cache.
+func certify(t *testing.T, test core.Test, sys *System, when string) {
+	t.Helper()
+	p := sys.Snapshot()
+	for k, coreSet := range p.Cores {
+		if len(coreSet) == 0 {
+			continue
+		}
+		if !test.Schedulable(coreSet) {
+			t.Fatalf("%s: %s rejects core %d of system %s:\n%v",
+				when, test.Name(), k, sys.ID(), coreSet)
+		}
+	}
+}
+
+// TestEquivalenceRandomSequences drives random admit/probe/release/batch
+// sequences against every test and certifies after each mutation that all
+// per-core task sets remain schedulable — the online analogue of
+// core.Algorithm.Verify.
+func TestEquivalenceRandomSequences(t *testing.T) {
+	for _, test := range allTests() {
+		test := test
+		t.Run(test.Name(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(2017))
+			ctrl := NewController(DefaultConfig())
+			sys, err := ctrl.CreateSystem("eq", 4, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			constrained := test.Name() != "EDF-VD" // EDF-VD needs implicit deadlines
+			cfg := taskgen.DefaultConfig(4, 0.5, 0.3, 0.4)
+			cfg.Constrained = constrained
+
+			nextID := 0
+			var resident []int
+			admits := 0
+			for round := 0; round < 6; round++ {
+				ts, err := taskgen.Generate(rng, cfg)
+				if err != nil {
+					continue
+				}
+				for _, task := range ts {
+					task.ID = nextID
+					nextID++
+					switch rng.Intn(10) {
+					case 0, 1: // release a random resident task
+						if len(resident) > 0 {
+							i := rng.Intn(len(resident))
+							if _, err := sys.Release(resident[i]); err != nil {
+								t.Fatal(err)
+							}
+							resident = append(resident[:i], resident[i+1:]...)
+							certify(t, test, sys, "after release")
+						}
+						fallthrough
+					default:
+						probe, err := sys.Probe(task)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := sys.Admit(task)
+						if err != nil {
+							t.Fatal(err)
+						}
+						// A probe and the admit that follows it must agree:
+						// nothing changed in between.
+						if probe.Admitted != res.Admitted {
+							t.Fatalf("probe said %v, admit said %v for %v",
+								probe.Admitted, res.Admitted, task)
+						}
+						if res.Admitted {
+							resident = append(resident, task.ID)
+							admits++
+						}
+						certify(t, test, sys, "after admit")
+					}
+				}
+			}
+			if admits == 0 {
+				t.Error("sequence admitted nothing; sweep uninformative")
+			}
+			st := ctrl.Stats()
+			if st.CacheHits == 0 {
+				t.Errorf("probe-then-admit traffic produced no cache hits: %+v", st)
+			}
+		})
+	}
+}
+
+// TestEquivalenceBatchMatchesSequential: an admitted batch must yield
+// certified cores, and a rejected batch must leave the system exactly as
+// before — for every test.
+func TestEquivalenceBatchMatchesSequential(t *testing.T) {
+	for _, test := range allTests() {
+		test := test
+		t.Run(test.Name(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(42))
+			ctrl := NewController(DefaultConfig())
+			sys, err := ctrl.CreateSystem("b", 2, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := taskgen.DefaultConfig(2, 0.4, 0.25, 0.3)
+			cfg.Constrained = test.Name() != "EDF-VD"
+			accepted, rejected := 0, 0
+			nextID := 0
+			for round := 0; round < 8; round++ {
+				ts, err := taskgen.Generate(rng, cfg)
+				if err != nil {
+					continue
+				}
+				for i := range ts {
+					ts[i].ID = nextID
+					nextID++
+				}
+				before := fmt.Sprint(sys.Snapshot())
+				br, err := sys.AdmitBatch(ts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if br.Admitted {
+					accepted++
+					certify(t, test, sys, "after batch admit")
+					// Clean the slate for the next batch.
+					var ids []int
+					for _, r := range br.Results {
+						ids = append(ids, r.TaskID)
+					}
+					if _, err := sys.Release(ids...); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					rejected++
+					if after := fmt.Sprint(sys.Snapshot()); after != before {
+						t.Fatalf("rejected batch mutated state:\n%s\n%s", before, after)
+					}
+				}
+			}
+			if accepted == 0 {
+				t.Error("no batch accepted; sweep uninformative")
+			}
+			_ = rejected // rejection count varies by test strength; acceptance is what must occur
+		})
+	}
+}
+
+// TestEquivalenceCachedMatchesUncached replays one admit/release sequence
+// through a cached and an uncached controller and requires identical
+// decisions and placements — the cache must be semantically invisible.
+func TestEquivalenceCachedMatchesUncached(t *testing.T) {
+	for _, test := range allTests() {
+		test := test
+		t.Run(test.Name(), func(t *testing.T) {
+			t.Parallel()
+			cached := NewController(DefaultConfig())
+			uncached := NewController(Config{CacheCapacity: -1})
+			a, _ := cached.CreateSystem("x", 3, test)
+			b, _ := uncached.CreateSystem("x", 3, test)
+
+			rng := rand.New(rand.NewSource(7))
+			cfg := taskgen.DefaultConfig(3, 0.45, 0.3, 0.35)
+			cfg.Constrained = test.Name() != "EDF-VD"
+			nextID := 0
+			for round := 0; round < 4; round++ {
+				ts, err := taskgen.Generate(rng, cfg)
+				if err != nil {
+					continue
+				}
+				for _, task := range ts {
+					task.ID = nextID
+					nextID++
+					// Probe twice on the cached side to exercise warm paths.
+					a.Probe(task)
+					ra, errA := a.Admit(task)
+					rb, errB := b.Admit(task)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("error divergence: %v vs %v", errA, errB)
+					}
+					if ra.Admitted != rb.Admitted || ra.Core != rb.Core {
+						t.Fatalf("divergence on %v: cached %+v vs uncached %+v", task, ra, rb)
+					}
+					if task.ID%3 == 0 && ra.Admitted {
+						if _, err := a.Release(task.ID); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := b.Release(task.ID); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			if cached.Stats().CacheHits == 0 {
+				t.Error("cached controller never hit its cache")
+			}
+		})
+	}
+}

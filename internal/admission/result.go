@@ -1,0 +1,74 @@
+package admission
+
+import "errors"
+
+// Errors returned by the controller and its systems. The daemon maps them
+// to HTTP statuses, so they are sentinel values rather than ad-hoc strings.
+var (
+	// ErrNoSystem is returned when a tenant ID resolves to nothing.
+	ErrNoSystem = errors.New("admission: no such system")
+	// ErrDuplicateSystem is returned when creating a tenant whose ID is
+	// already taken.
+	ErrDuplicateSystem = errors.New("admission: system already exists")
+	// ErrDuplicateTask is returned when admitting a task whose ID is
+	// already resident in the system (or repeated within one batch).
+	ErrDuplicateTask = errors.New("admission: duplicate task ID")
+	// ErrUnknownTask is returned when releasing a task the system does not
+	// hold.
+	ErrUnknownTask = errors.New("admission: unknown task ID")
+)
+
+// AdmitResult is the verdict of one admit or probe decision.
+type AdmitResult struct {
+	// TaskID echoes the decided task.
+	TaskID int `json:"task_id"`
+	// Admitted reports whether the task was placed (admit) or would be
+	// placed (probe).
+	Admitted bool `json:"admitted"`
+	// Core is the index of the accepting core, -1 when rejected.
+	Core int `json:"core"`
+	// Probed is true when the decision did not commit state.
+	Probed bool `json:"probed,omitempty"`
+	// Tests is the number of uniprocessor analyses this decision ran.
+	Tests int `json:"tests"`
+	// CacheHits is the number of analyses answered from the verdict cache
+	// instead of being run.
+	CacheHits int `json:"cache_hits"`
+	// Reason explains a rejection in human terms; empty when admitted.
+	Reason string `json:"reason,omitempty"`
+}
+
+// BatchResult is the verdict of an all-or-nothing batch admit or probe.
+type BatchResult struct {
+	// Admitted reports whether the entire batch fits; a single misfit
+	// rejects (and rolls back) the whole batch.
+	Admitted bool `json:"admitted"`
+	// Results holds one entry per task in the batch's placement order
+	// (decreasing level utilization, the paper's sorting rule). On a
+	// rejected batch, entries after the first misfit are absent.
+	Results []AdmitResult `json:"results"`
+	// Tests and CacheHits aggregate the analysis accounting over the batch.
+	Tests     int `json:"tests"`
+	CacheHits int `json:"cache_hits"`
+}
+
+// Stats is a point-in-time snapshot of the controller's counters.
+type Stats struct {
+	// Systems and Tasks are gauges: current tenant count and total
+	// resident tasks across all tenants.
+	Systems int `json:"systems"`
+	Tasks   int `json:"tasks"`
+	// Admits and Rejects count committed admit decisions (batch admits
+	// count each task). Probes counts non-committing decisions.
+	Admits   uint64 `json:"admits"`
+	Rejects  uint64 `json:"rejects"`
+	Probes   uint64 `json:"probes"`
+	Releases uint64 `json:"releases"`
+	// TestsRun counts uniprocessor analyses actually executed; CacheHits
+	// counts analyses answered by the verdict cache. Their sum is the
+	// total analysis demand.
+	TestsRun  uint64 `json:"tests_run"`
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheSize is the current number of cached verdicts.
+	CacheSize int `json:"cache_size"`
+}

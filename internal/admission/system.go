@@ -1,0 +1,271 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mcsched/internal/core"
+	"mcsched/internal/mcs"
+)
+
+// System is one tenant: a live task-to-core assignment over m processors
+// gated by a single uniprocessor schedulability test. All mutating and
+// reading methods are safe for concurrent use; a per-system mutex
+// serializes them, so independent tenants never contend.
+type System struct {
+	id string
+
+	mu       sync.Mutex
+	asn      *core.Assigner
+	ct       *cachedTest
+	resident map[int]bool // task IDs currently placed
+}
+
+// cachedTest adapts a core.Test with the controller's shared verdict cache.
+// The per-request tally fields are only touched under the owning System's
+// mutex; the global counters are atomics on the controller.
+type cachedTest struct {
+	inner core.Test
+	cache *verdictCache
+	stats *counters
+	// tallyTests and tallyHits accumulate per-request accounting between
+	// resetTally/readTally calls.
+	tallyTests, tallyHits int
+}
+
+// Name implements core.Test.
+func (t *cachedTest) Name() string { return t.inner.Name() }
+
+// Schedulable implements core.Test, consulting the verdict cache first.
+func (t *cachedTest) Schedulable(ts mcs.TaskSet) bool {
+	if t.cache != nil {
+		k := cacheKey{test: t.inner.Name(), set: t.cache.keyOf(ts)}
+		if ok, hit := t.cache.lookup(k); hit {
+			t.tallyHits++
+			atomic.AddUint64(&t.stats.cacheHits, 1)
+			return ok
+		}
+		ok := t.inner.Schedulable(ts)
+		t.tallyTests++
+		atomic.AddUint64(&t.stats.testsRun, 1)
+		t.cache.store(k, ok)
+		return ok
+	}
+	t.tallyTests++
+	atomic.AddUint64(&t.stats.testsRun, 1)
+	return t.inner.Schedulable(ts)
+}
+
+func (t *cachedTest) resetTally() { t.tallyTests, t.tallyHits = 0, 0 }
+
+func (t *cachedTest) readTally() (tests, hits int) { return t.tallyTests, t.tallyHits }
+
+// newSystem wires a tenant over m cores judged by test, sharing the
+// controller's verdict cache and counters.
+func newSystem(id string, m int, test core.Test, cache *verdictCache, stats *counters) *System {
+	ct := &cachedTest{inner: test, cache: cache, stats: stats}
+	return &System{
+		id:       id,
+		asn:      core.NewAssigner(m, ct),
+		ct:       ct,
+		resident: make(map[int]bool),
+	}
+}
+
+// ID returns the tenant identifier.
+func (s *System) ID() string { return s.id }
+
+// TestName returns the name of the schedulability test gating this system.
+func (s *System) TestName() string { return s.ct.inner.Name() }
+
+// NumCores returns the number of processors.
+func (s *System) NumCores() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asn.NumCores()
+}
+
+// NumTasks returns the number of resident tasks.
+func (s *System) NumTasks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.resident)
+}
+
+// Snapshot returns a deep copy of the current per-core assignment.
+func (s *System) Snapshot() core.Partition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asn.Snapshot()
+}
+
+// validateIncoming rejects tasks that are malformed or collide with a
+// resident ID. Caller holds s.mu.
+func (s *System) validateIncoming(t mcs.Task) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("admission: %w", err)
+	}
+	if s.resident[t.ID] {
+		return fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
+	}
+	return nil
+}
+
+// place runs the UDP online placement for one task: cores are tried
+// worst-fit by utilization difference for HC tasks, first-fit for LC tasks,
+// and only the candidate core's task set is re-analyzed. commit=false is a
+// probe. Caller holds s.mu.
+func (s *System) place(t mcs.Task, commit bool) AdmitResult {
+	res := AdmitResult{TaskID: t.ID, Core: -1, Probed: !commit}
+	for _, k := range s.asn.PlacementOrder(t) {
+		ok := false
+		if commit {
+			ok = s.asn.TryAssign(t, k)
+		} else {
+			ok = s.asn.Fits(t, k)
+		}
+		if ok {
+			res.Admitted = true
+			res.Core = k
+			if commit {
+				s.resident[t.ID] = true
+			}
+			return res
+		}
+	}
+	res.Reason = fmt.Sprintf("task %d fits on no core under %s", t.ID, s.ct.Name())
+	return res
+}
+
+// Admit places one task, committing it on success.
+func (s *System) Admit(t mcs.Task) (AdmitResult, error) {
+	return s.decide(t, true)
+}
+
+// Probe decides whether the task would be admitted without committing it.
+func (s *System) Probe(t mcs.Task) (AdmitResult, error) {
+	return s.decide(t, false)
+}
+
+func (s *System) decide(t mcs.Task, commit bool) (AdmitResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validateIncoming(t); err != nil {
+		return AdmitResult{TaskID: t.ID, Core: -1, Probed: !commit}, err
+	}
+	s.ct.resetTally()
+	res := s.place(t, commit)
+	res.Tests, res.CacheHits = s.ct.readTally()
+	switch {
+	case !commit:
+		atomic.AddUint64(&s.ct.stats.probes, 1)
+	case res.Admitted:
+		atomic.AddUint64(&s.ct.stats.admits, 1)
+	default:
+		atomic.AddUint64(&s.ct.stats.rejects, 1)
+	}
+	return res, nil
+}
+
+// AdmitBatch places a batch of tasks all-or-nothing: the batch is ordered
+// by decreasing level utilization (the paper's sorting rule, which worst-
+// fit placement depends on), each task placed in turn, and every placement
+// rolled back if any task misfits.
+func (s *System) AdmitBatch(ts mcs.TaskSet) (BatchResult, error) {
+	return s.decideBatch(ts, true)
+}
+
+// ProbeBatch decides a batch without committing it.
+func (s *System) ProbeBatch(ts mcs.TaskSet) (BatchResult, error) {
+	return s.decideBatch(ts, false)
+}
+
+func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
+	if len(ts) == 0 {
+		return BatchResult{}, fmt.Errorf("admission: empty batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[int]bool, len(ts))
+	for _, t := range ts {
+		if err := s.validateIncoming(t); err != nil {
+			return BatchResult{}, err
+		}
+		if seen[t.ID] {
+			return BatchResult{}, fmt.Errorf("%w: %d repeated in batch", ErrDuplicateTask, t.ID)
+		}
+		seen[t.ID] = true
+	}
+
+	ordered := ts.Clone()
+	ordered.SortByLevelUtil()
+
+	s.ct.resetTally()
+	out := BatchResult{Admitted: true}
+	var placed []int
+	for _, t := range ordered {
+		// Batch placement always commits tentatively so later tasks see
+		// earlier ones; a probe (or a misfit) rolls the placements back.
+		beforeTests, beforeHits := s.ct.readTally()
+		res := s.place(t, true)
+		afterTests, afterHits := s.ct.readTally()
+		res.Tests, res.CacheHits = afterTests-beforeTests, afterHits-beforeHits
+		out.Results = append(out.Results, res)
+		if !res.Admitted {
+			out.Admitted = false
+			break
+		}
+		placed = append(placed, t.ID)
+	}
+	if !out.Admitted || !commit {
+		for _, id := range placed {
+			s.asn.Remove(id)
+			delete(s.resident, id)
+		}
+	}
+	if !commit {
+		for i := range out.Results {
+			out.Results[i].Probed = true
+		}
+	}
+	out.Tests, out.CacheHits = s.ct.readTally()
+	switch {
+	case !commit:
+		atomic.AddUint64(&s.ct.stats.probes, uint64(len(out.Results)))
+	case out.Admitted:
+		atomic.AddUint64(&s.ct.stats.admits, uint64(len(out.Results)))
+	default:
+		// Only the misfit task is a rejection; the tasks that placed and
+		// were rolled back were never individually rejected.
+		atomic.AddUint64(&s.ct.stats.rejects, 1)
+	}
+	return out, nil
+}
+
+// Release removes the tasks with the given IDs and returns how many tasks
+// it released (repeated IDs count once). It is transactional: when any ID
+// is unknown, nothing is released. Removal never needs re-analysis — all
+// four tests are sustainable under task removal — so a release is O(n)
+// bookkeeping.
+func (s *System) Release(ids ...int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	unique := make([]int, 0, len(ids))
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if !s.resident[id] {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownTask, id)
+		}
+		if !seen[id] {
+			seen[id] = true
+			unique = append(unique, id)
+		}
+	}
+	for _, id := range unique {
+		s.asn.Remove(id)
+		delete(s.resident, id)
+		atomic.AddUint64(&s.ct.stats.releases, 1)
+	}
+	return len(unique), nil
+}

@@ -359,8 +359,14 @@ type Test struct {
 	Opts Options
 }
 
-// Name implements the test interface.
+// Name implements the test interface. The priority policy is part of the
+// name so that two AMC configurations never alias: verdict caches and
+// by-name registries key on the name, and Audsley versus deadline-monotonic
+// genuinely disagree on some task sets.
 func (t Test) Name() string {
+	if t.Opts.Policy == DeadlineMonotonic {
+		return t.Opts.Variant.String() + "(dm)"
+	}
 	return t.Opts.Variant.String()
 }
 

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sort"
+
+	"mcsched/internal/mcs"
+)
+
+// Assigner tracks a partial task-to-core assignment together with the
+// per-core aggregates (ULH, UHH) the UDP strategies steer by. The offline
+// strategies drive it for the duration of one Partition call; the online
+// admission controller keeps one alive per tenant and grows/shrinks it one
+// task at a time.
+//
+// Every placement consults the configured Test on the candidate core only,
+// so the cost of an incremental admit is a single uniprocessor analysis
+// rather than a full re-partitioning. Assigner is not safe for concurrent
+// use; callers serialize access.
+type Assigner struct {
+	cores []mcs.TaskSet
+	ulh   []float64 // Σ u^L of HC tasks per core
+	uhh   []float64 // Σ u^H of HC tasks per core
+	test  Test
+	// lastCore is the core of the most recent successful TryAssign; used
+	// by strategies that maintain their own fit keys.
+	lastCore int
+}
+
+// NewAssigner returns an empty assignment over m cores gated by test.
+func NewAssigner(m int, test Test) *Assigner {
+	return &Assigner{
+		cores:    make([]mcs.TaskSet, m),
+		ulh:      make([]float64, m),
+		uhh:      make([]float64, m),
+		test:     test,
+		lastCore: -1,
+	}
+}
+
+// NumCores returns the number of processors.
+func (a *Assigner) NumCores() int { return len(a.cores) }
+
+// NumTasks returns the total number of assigned tasks.
+func (a *Assigner) NumTasks() int {
+	n := 0
+	for _, c := range a.cores {
+		n += len(c)
+	}
+	return n
+}
+
+// Core returns the live task set of core k. Callers must not mutate it; use
+// Snapshot for an owned copy.
+func (a *Assigner) Core(k int) mcs.TaskSet { return a.cores[k] }
+
+// UtilDiff returns UHH(φ_k) − ULH(φ_k), the quantity the UDP strategies
+// balance across cores.
+func (a *Assigner) UtilDiff(k int) float64 { return a.uhh[k] - a.ulh[k] }
+
+// UHH returns Σ u^H over the HC tasks of core k.
+func (a *Assigner) UHH(k int) float64 { return a.uhh[k] }
+
+// LastCore returns the core of the most recent successful TryAssign, or -1.
+func (a *Assigner) LastCore() int { return a.lastCore }
+
+// Fits reports whether core k would accept the task — the schedulability
+// test on φ_k ∪ {task} — without committing anything.
+func (a *Assigner) Fits(task mcs.Task, k int) bool {
+	cand := append(a.cores[k][:len(a.cores[k]):len(a.cores[k])], task)
+	return a.test.Schedulable(cand)
+}
+
+// TryAssign tests the task on core k and commits it if schedulable.
+func (a *Assigner) TryAssign(task mcs.Task, k int) bool {
+	cand := append(a.cores[k][:len(a.cores[k]):len(a.cores[k])], task)
+	if !a.test.Schedulable(cand) {
+		return false
+	}
+	a.cores[k] = cand
+	if task.IsHC() {
+		a.ulh[k] += task.ULo
+		a.uhh[k] += task.UHi
+	}
+	a.lastCore = k
+	return true
+}
+
+// Remove takes the task with the given ID off its core and returns it. The
+// per-core aggregates are recomputed from scratch so repeated admit/release
+// cycles do not accumulate floating-point drift.
+func (a *Assigner) Remove(id int) (mcs.Task, bool) {
+	for k, c := range a.cores {
+		for i, t := range c {
+			if t.ID == id {
+				next := make(mcs.TaskSet, 0, len(c)-1)
+				next = append(next, c[:i]...)
+				next = append(next, c[i+1:]...)
+				a.cores[k] = next
+				a.ulh[k] = next.ULH()
+				a.uhh[k] = next.UHH()
+				return t, true
+			}
+		}
+	}
+	return mcs.Task{}, false
+}
+
+// PlacementOrder returns the core indices in the order the UDP online
+// policy tries them for the task: worst-fit by the per-core utilization
+// difference for HC tasks (Algorithm 1 line 3), index order (first-fit)
+// for LC tasks. Ties break by index so the order is deterministic.
+func (a *Assigner) PlacementOrder(task mcs.Task) []int {
+	order := make([]int, len(a.cores))
+	for i := range order {
+		order[i] = i
+	}
+	if task.IsHC() {
+		sort.SliceStable(order, func(x, y int) bool {
+			kx, ky := a.UtilDiff(order[x]), a.UtilDiff(order[y])
+			if kx != ky {
+				return kx < ky
+			}
+			return order[x] < order[y]
+		})
+	}
+	return order
+}
+
+// FirstFit tries cores in index order.
+func (a *Assigner) FirstFit(task mcs.Task) bool {
+	for k := range a.cores {
+		if a.TryAssign(task, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// WorstFitBy tries cores in increasing order of key(k), ties by index —
+// the generalized worst-fit of Algorithm 1 line 3.
+func (a *Assigner) WorstFitBy(task mcs.Task, key func(k int) float64) bool {
+	return a.fitBy(task, key, false)
+}
+
+// BestFitBy tries cores in decreasing order of key(k) — the mirror image of
+// worst-fit, provided for ablation studies.
+func (a *Assigner) BestFitBy(task mcs.Task, key func(k int) float64) bool {
+	return a.fitBy(task, key, true)
+}
+
+func (a *Assigner) fitBy(task mcs.Task, key func(k int) float64, desc bool) bool {
+	order := make([]int, len(a.cores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		kx, ky := key(order[x]), key(order[y])
+		if kx != ky {
+			if desc {
+				return kx > ky
+			}
+			return kx < ky
+		}
+		return order[x] < order[y]
+	})
+	for _, k := range order {
+		if a.TryAssign(task, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// Partition hands the assignment over as a Partition. The strategies call
+// it once at the end of a run and discard the Assigner; long-lived callers
+// should use Snapshot instead.
+func (a *Assigner) Partition() Partition { return Partition{Cores: a.cores} }
+
+// Snapshot returns a deep copy of the current assignment.
+func (a *Assigner) Snapshot() Partition {
+	return Partition{Cores: a.cores}.Clone()
+}

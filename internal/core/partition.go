@@ -14,7 +14,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"mcsched/internal/mcs"
 )
@@ -99,103 +98,6 @@ type Strategy interface {
 	// ErrUnpartitionable when some task fits nowhere.
 	Partition(ts mcs.TaskSet, m int, test Test) (Partition, error)
 }
-
-// state tracks the partial assignment and incremental per-core aggregates
-// during a partitioning run.
-type state struct {
-	cores []mcs.TaskSet
-	ulh   []float64 // Σ u^L of HC tasks per core
-	uhh   []float64 // Σ u^H of HC tasks per core
-	test  Test
-	// lastCore is the core of the most recent successful tryAssign; used
-	// by strategies that maintain their own fit keys.
-	lastCore int
-}
-
-func newState(m int, test Test) *state {
-	return &state{
-		cores:    make([]mcs.TaskSet, m),
-		ulh:      make([]float64, m),
-		uhh:      make([]float64, m),
-		test:     test,
-		lastCore: -1,
-	}
-}
-
-// utilDiff returns UHH(φ_k) − ULH(φ_k).
-func (s *state) utilDiff(k int) float64 { return s.uhh[k] - s.ulh[k] }
-
-// tryAssign tests task on core k and commits it if schedulable.
-func (s *state) tryAssign(task mcs.Task, k int) bool {
-	cand := append(s.cores[k], task)
-	if !s.test.Schedulable(cand) {
-		return false
-	}
-	s.cores[k] = cand
-	if task.IsHC() {
-		s.ulh[k] += task.ULo
-		s.uhh[k] += task.UHi
-	}
-	s.lastCore = k
-	return true
-}
-
-// firstFit tries cores in index order.
-func (s *state) firstFit(task mcs.Task) bool {
-	for k := range s.cores {
-		if s.tryAssign(task, k) {
-			return true
-		}
-	}
-	return false
-}
-
-// worstFitBy tries cores in increasing order of key(k), ties by index —
-// the generalized worst-fit of Algorithm 1 line 3.
-func (s *state) worstFitBy(task mcs.Task, key func(k int) float64) bool {
-	order := make([]int, len(s.cores))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ka, kb := key(order[a]), key(order[b])
-		if ka != kb {
-			return ka < kb
-		}
-		return order[a] < order[b]
-	})
-	for _, k := range order {
-		if s.tryAssign(task, k) {
-			return true
-		}
-	}
-	return false
-}
-
-// bestFitBy tries cores in decreasing order of key(k) — the mirror image of
-// worst-fit, provided for ablation studies.
-func (s *state) bestFitBy(task mcs.Task, key func(k int) float64) bool {
-	order := make([]int, len(s.cores))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ka, kb := key(order[a]), key(order[b])
-		if ka != kb {
-			return ka > kb
-		}
-		return order[a] < order[b]
-	})
-	for _, k := range order {
-		if s.tryAssign(task, k) {
-			return true
-		}
-	}
-	return false
-}
-
-// finish converts the state into a Partition.
-func (s *state) finish() Partition { return Partition{Cores: s.cores} }
 
 // sortedByLevelUtil returns a copy sorted in decreasing order of each
 // task's utilization at its own criticality level.

@@ -41,7 +41,7 @@ func (u UDP) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
-	st := newState(m, test)
+	st := NewAssigner(m, test)
 
 	var seq mcs.TaskSet
 	if u.CriticalityAware {
@@ -60,15 +60,15 @@ func (u UDP) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	for _, task := range seq {
 		var ok bool
 		if task.IsHC() {
-			ok = st.worstFitBy(task, st.utilDiff)
+			ok = st.WorstFitBy(task, st.UtilDiff)
 		} else {
-			ok = st.firstFit(task)
+			ok = st.FirstFit(task)
 		}
 		if !ok {
 			return Partition{}, FailError{Task: task}
 		}
 	}
-	return st.finish(), nil
+	return st.Partition(), nil
 }
 
 // CANoSortFF is the baseline CA(nosort)-F-F of Baruah et al. (RTS 2014):
@@ -85,13 +85,13 @@ func (CANoSortFF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error)
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
-	st := newState(m, test)
+	st := NewAssigner(m, test)
 	for _, task := range append(ts.HC(), ts.LC()...) {
-		if !st.firstFit(task) {
+		if !st.FirstFit(task) {
 			return Partition{}, FailError{Task: task}
 		}
 	}
-	return st.finish(), nil
+	return st.Partition(), nil
 }
 
 // CAFF is the baseline CA-F-F of Rodriguez et al. (WMC 2013):
@@ -107,14 +107,14 @@ func (CAFF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
-	st := newState(m, test)
+	st := NewAssigner(m, test)
 	seq := append(sortedByLevelUtil(ts.HC()), sortedByLevelUtil(ts.LC())...)
 	for _, task := range seq {
-		if !st.firstFit(task) {
+		if !st.FirstFit(task) {
 			return Partition{}, FailError{Task: task}
 		}
 	}
-	return st.finish(), nil
+	return st.Partition(), nil
 }
 
 // CAWuF is the criticality-aware worst-fit-by-HC-utilization strategy used
@@ -131,18 +131,18 @@ func (CAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
-	st := newState(m, test)
+	st := NewAssigner(m, test)
 	for _, task := range sortedByLevelUtil(ts.HC()) {
-		if !st.worstFitBy(task, func(k int) float64 { return st.uhh[k] }) {
+		if !st.WorstFitBy(task, func(k int) float64 { return st.UHH(k) }) {
 			return Partition{}, FailError{Task: task}
 		}
 	}
 	for _, task := range sortedByLevelUtil(ts.LC()) {
-		if !st.firstFit(task) {
+		if !st.FirstFit(task) {
 			return Partition{}, FailError{Task: task}
 		}
 	}
-	return st.finish(), nil
+	return st.Partition(), nil
 }
 
 // ECAWuF is the enhanced criticality-aware strategy of Gu et al.
@@ -160,7 +160,7 @@ func (ECAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
-	st := newState(m, test)
+	st := NewAssigner(m, test)
 
 	hc := sortedByLevelUtil(ts.HC())
 	lc := sortedByLevelUtil(ts.LC())
@@ -178,21 +178,21 @@ func (ECAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	heavy, rest := lc[:split], lc[split:]
 
 	for _, task := range heavy {
-		if !st.firstFit(task) {
+		if !st.FirstFit(task) {
 			return Partition{}, FailError{Task: task}
 		}
 	}
 	for _, task := range hc {
-		if !st.worstFitBy(task, func(k int) float64 { return st.uhh[k] }) {
+		if !st.WorstFitBy(task, func(k int) float64 { return st.UHH(k) }) {
 			return Partition{}, FailError{Task: task}
 		}
 	}
 	for _, task := range rest {
-		if !st.firstFit(task) {
+		if !st.FirstFit(task) {
 			return Partition{}, FailError{Task: task}
 		}
 	}
-	return st.finish(), nil
+	return st.Partition(), nil
 }
 
 // FFD is the classic criticality-unaware first-fit decreasing strategy —
@@ -208,13 +208,13 @@ func (FFD) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
-	st := newState(m, test)
+	st := NewAssigner(m, test)
 	for _, task := range sortedByLevelUtil(ts) {
-		if !st.firstFit(task) {
+		if !st.FirstFit(task) {
 			return Partition{}, FailError{Task: task}
 		}
 	}
-	return st.finish(), nil
+	return st.Partition(), nil
 }
 
 // WFD is criticality-unaware worst-fit decreasing by level utilization —
@@ -230,15 +230,15 @@ func (WFD) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
-	st := newState(m, test)
+	st := NewAssigner(m, test)
 	load := make([]float64, m)
 	for _, task := range sortedByLevelUtil(ts) {
-		if !st.worstFitBy(task, func(i int) float64 { return load[i] }) {
+		if !st.WorstFitBy(task, func(i int) float64 { return load[i] }) {
 			return Partition{}, FailError{Task: task}
 		}
-		load[st.lastCore] += task.LevelUtil()
+		load[st.LastCore()] += task.LevelUtil()
 	}
-	return st.finish(), nil
+	return st.Partition(), nil
 }
 
 // Strategies returns every named strategy in a stable order: the paper's

@@ -43,6 +43,27 @@ type PartitionJSON struct {
 	Tasks   []TaskJSON `json:"tasks"`
 }
 
+// TaskToJSON converts a model task to its wire form. The mcschedd daemon
+// uses it to serve snapshots in the same schema the files use.
+func TaskToJSON(t mcs.Task) TaskJSON { return fromTask(t) }
+
+// TaskFromJSON converts and validates one wire task — the single decoding
+// path shared by file readers and the daemon's request bodies.
+func TaskFromJSON(j TaskJSON) (mcs.Task, error) { return toTask(j) }
+
+// PartitionToJSON converts a partition to its wire form.
+func PartitionToJSON(p core.Partition) PartitionJSON {
+	doc := PartitionJSON{Version: FormatVersion, Cores: make([][]int, len(p.Cores))}
+	for k, c := range p.Cores {
+		doc.Cores[k] = []int{}
+		for _, t := range c {
+			doc.Cores[k] = append(doc.Cores[k], t.ID)
+			doc.Tasks = append(doc.Tasks, fromTask(t))
+		}
+	}
+	return doc
+}
+
 // fromTask converts a model task to its wire form.
 func fromTask(t mcs.Task) TaskJSON {
 	return TaskJSON{
@@ -90,10 +111,28 @@ func toTask(j TaskJSON) (mcs.Task, error) {
 	if t.UHi == 0 && t.Period > 0 {
 		t.UHi = float64(t.CHi()) / float64(t.Period)
 	}
+	// Wire-supplied utilizations must be consistent with the integer
+	// parameters: generators draw u and round the budget up to an integer,
+	// so C−1 < u·T ≤ C. Anything outside that band would let a client
+	// understate its load to a utilization-based test (or overstate it),
+	// which matters now that untrusted daemon requests decode through here.
+	if !utilConsistent(t.ULo, t.CLo(), t.Period) {
+		return mcs.Task{}, fmt.Errorf("mcsio: task %d: u_lo %.6f inconsistent with c_lo %d / period %d", j.ID, t.ULo, t.CLo(), t.Period)
+	}
+	if !utilConsistent(t.UHi, t.CHi(), t.Period) {
+		return mcs.Task{}, fmt.Errorf("mcsio: task %d: u_hi %.6f inconsistent with c_hi %d / period %d", j.ID, t.UHi, t.CHi(), t.Period)
+	}
 	if err := t.Validate(); err != nil {
 		return mcs.Task{}, fmt.Errorf("mcsio: %w", err)
 	}
 	return t, nil
+}
+
+// utilConsistent reports whether utilization u can have produced the integer
+// budget c under period t via round-up: c−1 < u·t ≤ c (with float slack).
+func utilConsistent(u float64, c, t mcs.Ticks) bool {
+	x := u * float64(t)
+	return x <= float64(c)+1e-9 && x > float64(c)-1-1e-9
 }
 
 // WriteTaskSet encodes the task set as indented JSON.
@@ -132,14 +171,7 @@ func ReadTaskSet(r io.Reader) (mcs.TaskSet, error) {
 
 // WritePartition encodes a partition (task IDs per core plus definitions).
 func WritePartition(w io.Writer, p core.Partition) error {
-	doc := PartitionJSON{Version: FormatVersion, Cores: make([][]int, len(p.Cores))}
-	for k, c := range p.Cores {
-		doc.Cores[k] = []int{}
-		for _, t := range c {
-			doc.Cores[k] = append(doc.Cores[k], t.ID)
-			doc.Tasks = append(doc.Tasks, fromTask(t))
-		}
-	}
+	doc := PartitionToJSON(p)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

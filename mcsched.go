@@ -4,6 +4,7 @@ import (
 	"io"
 	"math/rand"
 
+	"mcsched/internal/admission"
 	"mcsched/internal/analysis/amc"
 	"mcsched/internal/analysis/ecdf"
 	"mcsched/internal/analysis/edf"
@@ -201,6 +202,8 @@ func TestByName(name string) (Test, bool) {
 	switch name {
 	case "AMC-rtb":
 		return AMCWith(AMCRtb), true
+	case "AMC-max(dm)":
+		return AMCDeadlineMonotonic(), true
 	case "EDF-util":
 		return PlainEDF(false), true
 	case "EDF-demand":
@@ -208,6 +211,52 @@ func TestByName(name string) (Test, bool) {
 	}
 	return nil, false
 }
+
+// ---------------------------------------------------------------------------
+// Online admission control
+// ---------------------------------------------------------------------------
+
+// AdmissionController maintains live per-core partitions for many
+// independent systems (tenants) and admits, probes and releases tasks
+// online using the paper's utilization-difference placement order, with
+// only the affected core re-analyzed per decision. It is safe for heavy
+// concurrent use and backs the cmd/mcschedd daemon.
+type AdmissionController = admission.Controller
+
+// AdmissionConfig parameterizes an AdmissionController (tenant-map stripes
+// and verdict-cache capacity).
+type AdmissionConfig = admission.Config
+
+// AdmissionSystem is one tenant of an AdmissionController: a live
+// assignment over m cores gated by a single schedulability Test.
+type AdmissionSystem = admission.System
+
+// AdmitResult is the verdict of one online admit or probe decision.
+type AdmitResult = admission.AdmitResult
+
+// BatchAdmitResult is the verdict of an all-or-nothing batch decision.
+type BatchAdmitResult = admission.BatchResult
+
+// AdmissionStats is a snapshot of an AdmissionController's counters.
+type AdmissionStats = admission.Stats
+
+// Admission-control sentinel errors.
+var (
+	ErrNoSystem        = admission.ErrNoSystem
+	ErrDuplicateSystem = admission.ErrDuplicateSystem
+	ErrDuplicateTask   = admission.ErrDuplicateTask
+	ErrUnknownTask     = admission.ErrUnknownTask
+)
+
+// NewAdmissionController returns an empty controller with the given
+// configuration; the zero Config selects production defaults.
+func NewAdmissionController(cfg AdmissionConfig) *AdmissionController {
+	return admission.NewController(cfg)
+}
+
+// DefaultAdmissionConfig returns the production defaults (16 stripes, 4096
+// cached verdicts).
+func DefaultAdmissionConfig() AdmissionConfig { return admission.DefaultConfig() }
 
 // ---------------------------------------------------------------------------
 // Task-set generation
