@@ -413,6 +413,98 @@ func BenchmarkAdmitBatch64(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Batch-parallel analysis engine: parallel vs serial
+// ---------------------------------------------------------------------------
+
+// benchAdmitBatch64Analysis measures an all-or-nothing 64-task batch admit
+// with the verdict cache disabled, so every candidate-core probe pays for a
+// fresh analysis — the workload the parallel probe engine exists for. The
+// serial/parallel pair under the same test isolates the engine's effect;
+// decisions are bit-identical by construction, so only wall-clock differs.
+func benchAdmitBatch64Analysis(b *testing.B, test Test, workers int) {
+	ctrl := NewAdmissionController(AdmissionConfig{CacheCapacity: -1, Workers: workers})
+	sys, err := ctrl.CreateSystem("bench", 8, test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := admitTasks(b, 64)
+	ids := make([]int, len(batch))
+	for i, t := range batch {
+		ids[i] = t.ID
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.AdmitBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Admitted {
+			if _, err := sys.Release(ids...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAdmitBatch64Serial is the serial baseline of the admit hot path:
+// one goroutine scans the candidate cores of every placement.
+func BenchmarkAdmitBatch64Serial(b *testing.B) {
+	b.Run("EDF-VD", func(b *testing.B) { benchAdmitBatch64Analysis(b, EDFVD(), 1) })
+	b.Run("AMC", func(b *testing.B) { benchAdmitBatch64Analysis(b, AMC(), 1) })
+}
+
+// BenchmarkAdmitBatch64Parallel fans each placement's candidate probes
+// across GOMAXPROCS workers. The win scales with per-probe analysis cost
+// (AMC ≫ EDF-VD) and with GOMAXPROCS; on a single-CPU host it degenerates
+// to the serial scan plus scheduling overhead.
+func BenchmarkAdmitBatch64Parallel(b *testing.B) {
+	b.Run("EDF-VD", func(b *testing.B) { benchAdmitBatch64Analysis(b, EDFVD(), -1) })
+	b.Run("AMC", func(b *testing.B) { benchAdmitBatch64Analysis(b, AMC(), -1) })
+}
+
+// benchSweep runs one reduced acceptance-ratio sweep (the paper's Fig. 3
+// shape) with the given task-set parallelism.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		_, err := RunExperiment(ExperimentConfig{
+			M: 4, PH: 0.5, SetsPerUB: benchSets, Seed: 2017,
+			UBMin: 0.5, UBMax: 0.99, Workers: workers,
+			Algorithms: []Algorithm{{Strategy: CUUDP(), Test: EDFVD()}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial measures the acceptance-ratio sweep on one worker.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel measures the same sweep fanned over GOMAXPROCS
+// workers via the batch-parallel engine; curves are identical to serial.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkPartitionParallelAMC compares one full offline partitioning run
+// of CU-UDP-AMC on 8 cores with serial versus parallel candidate probing —
+// the offline counterpart of the admit-path benchmarks.
+func BenchmarkPartitionParallelAMC(b *testing.B) {
+	ts := benchSet(b, 8, true)
+	test := AMC()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = CUUDP().Partition(ts, 8, test)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		s := Parallelize(CUUDP(), 0)
+		for i := 0; i < b.N; i++ {
+			_, _ = s.Partition(ts, 8, test)
+		}
+	})
+}
+
 // BenchmarkSpeedupSurvey measures the empirical speed-up sweep that
 // accompanies the 8/3 theorem, and reports the observed mean and max
 // speeds for CU-UDP-EDF-VD.

@@ -4,6 +4,9 @@
 // library's uniprocessor schedulability tests; tasks are admitted, probed
 // and released at runtime using the paper's utilization-difference
 // placement order, with only the affected core re-analyzed per decision.
+// Candidate-core probes fan out across the batch-parallel analysis engine
+// (-workers goroutines per decision, default GOMAXPROCS, 1 = serial);
+// decisions are bit-identical to the serial scan either way.
 //
 //	mcschedd -addr :8080
 //
@@ -36,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -46,11 +50,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shards := flag.Int("shards", 16, "tenant-map stripes")
 	cacheCap := flag.Int("cache", 4096, "verdict-cache capacity (0 = default, negative disables)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines per decision for parallel candidate-core probing (1 = serial)")
 	flag.Parse()
 
 	ctrl := admission.NewController(admission.Config{
 		Shards:        *shards,
 		CacheCapacity: *cacheCap,
+		Workers:       *workers,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -16,7 +16,11 @@ import (
 
 func newTestDaemon(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(admission.NewController(admission.DefaultConfig())))
+	// Workers mirrors the daemon's production default (parallel candidate
+	// probing), so the HTTP tests cover the engine path under -race.
+	cfg := admission.DefaultConfig()
+	cfg.Workers = -1
+	ts := httptest.NewServer(newServer(admission.NewController(cfg)))
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -28,13 +28,20 @@
 //     keeps live per-core partitions for many tenants and admits, probes
 //     and releases tasks at runtime using the paper's utilization-
 //     difference placement order, re-analyzing only the affected core and
-//     memoizing verdicts in a task-multiset-keyed cache.
+//     memoizing verdicts in a task-multiset-keyed cache;
+//   - a batch-parallel analysis engine that fans candidate-core
+//     schedulability probes across worker goroutines — offline via
+//     Parallelize, online via AdmissionConfig.Workers, and across task
+//     sets in the experiment runners — with results bit-identical to the
+//     serial path.
 //
 // This root package is a stable facade: it re-exports the types and
 // functions a downstream user needs, while the implementation lives in
-// internal packages. See the examples directory for runnable programs,
-// cmd/mcfigures for the figure-regeneration tool, and cmd/mcschedd for the
-// scheduling-as-a-service HTTP daemon built on the admission controller.
+// internal packages. See ARCHITECTURE.md for the layer map, the examples
+// directory for runnable programs, cmd/mcfigures for the
+// figure-regeneration tool, and cmd/mcschedd for the
+// scheduling-as-a-service HTTP daemon built on the admission controller
+// (HTTP reference: docs/api.md).
 //
 // # Quick start
 //

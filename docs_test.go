@@ -1,0 +1,70 @@
+package mcsched
+
+// Documentation health checks, run as part of the normal test suite and by
+// the CI docs step: every intra-repo markdown link must resolve to a file
+// that exists, so ARCHITECTURE.md, README.md and docs/ cannot silently rot
+// as the tree moves.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are rare in this repo and intentionally unchecked.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks walks every .md file of the repository and verifies
+// that each relative link target exists. External (scheme-qualified) links
+// and pure in-page anchors are skipped: CI must not depend on the network,
+// and anchor slugs are renderer-specific.
+func TestMarkdownLinks(t *testing.T) {
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; is the test running from the repo root?")
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an in-page anchor from a file link.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %q): %v", file, m[1], resolved, err)
+			}
+		}
+	}
+}

@@ -17,6 +17,16 @@
 // re-analysis entirely. Tenant state is striped across mutex-guarded
 // shards; the controller is safe for heavy concurrent use and is the
 // engine behind the cmd/mcschedd daemon.
+//
+// With Config.Workers > 1 the candidate-core probes of each decision fan
+// out across the batch-parallel analysis engine
+// (internal/analysis/parallel): the cores of one placement are analyzed
+// concurrently in scan-order chunks, so decisions — single admits and every
+// step of a batch — remain bit-identical to the serial scan while the
+// expensive analyses (AMC response-time iteration in particular) overlap.
+// Concurrent identical analyses, whether from one parallel scan or from
+// independent tenants, are deduplicated single-flight through the verdict
+// cache: one goroutine runs the analysis, the rest wait for its verdict.
 package admission
 
 import (
@@ -27,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mcsched/internal/analysis/parallel"
 	"mcsched/internal/core"
 )
 
@@ -39,9 +50,19 @@ type Config struct {
 	// verdicts kept across all cache stripes. 0 selects the default
 	// (4096); negative disables caching.
 	CacheCapacity int
+	// Workers is the number of goroutines the candidate-core probes of one
+	// admit/probe decision fan out across. 0 or 1 scans serially; negative
+	// selects GOMAXPROCS. Parallel probing returns bit-identical decisions
+	// (the worst-fit/first-fit scan order is preserved and identical
+	// concurrent analyses are deduplicated single-flight); it pays off when
+	// the per-core analyses are expensive — AMC and ECDF in particular —
+	// or core counts are large, and costs goroutine overhead when they are
+	// cheap (EDF-VD).
+	Workers int
 }
 
-// DefaultConfig returns the production defaults.
+// DefaultConfig returns the production defaults. Probing stays serial by
+// default; the mcschedd daemon turns parallel probing on explicitly.
 func DefaultConfig() Config { return Config{Shards: 16, CacheCapacity: 4096} }
 
 func (c Config) withDefaults() Config {
@@ -54,11 +75,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// engine returns the probe engine the configuration selects, or nil for the
+// serial scan.
+func (c Config) engine() *parallel.Engine {
+	switch {
+	case c.Workers == 0 || c.Workers == 1:
+		return nil
+	case c.Workers < 0:
+		return parallel.New(0) // GOMAXPROCS
+	default:
+		return parallel.New(c.Workers)
+	}
+}
+
 // counters holds the controller-wide atomic counters. Systems bump them
 // directly; Stats() snapshots them.
 type counters struct {
 	admits, rejects, probes, releases uint64
-	testsRun, cacheHits               uint64
+	testsRun, cacheHits, dedups       uint64
 }
 
 // tenantShard is one stripe of the tenant map.
@@ -67,11 +101,13 @@ type tenantShard struct {
 	m  map[string]*System
 }
 
-// Controller owns the tenant systems and the shared verdict cache.
+// Controller owns the tenant systems, the shared verdict cache and the
+// shared probe engine.
 type Controller struct {
 	cfg    Config
 	shards []tenantShard
 	cache  *verdictCache
+	engine *parallel.Engine // nil = serial candidate probing
 	stats  counters
 	nextID uint64
 }
@@ -83,6 +119,7 @@ func NewController(cfg Config) *Controller {
 		cfg:    cfg,
 		shards: make([]tenantShard, cfg.Shards),
 		cache:  newVerdictCache(cfg.CacheCapacity, cfg.Shards),
+		engine: cfg.engine(),
 	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*System)
@@ -132,7 +169,7 @@ func (c *Controller) insert(id string, m int, test core.Test) (*System, error) {
 	if _, dup := sh.m[id]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateSystem, id)
 	}
-	sys := newSystem(id, m, test, c.cache, &c.stats)
+	sys := newSystem(id, m, test, c.cache, &c.stats, proberOrNil(c.engine))
 	sh.m[id] = sys
 	return sys, nil
 }
@@ -184,6 +221,7 @@ func (c *Controller) Stats() Stats {
 		Releases:  atomic.LoadUint64(&c.stats.releases),
 		TestsRun:  atomic.LoadUint64(&c.stats.testsRun),
 		CacheHits: atomic.LoadUint64(&c.stats.cacheHits),
+		Dedups:    atomic.LoadUint64(&c.stats.dedups),
 		CacheSize: c.cache.len(),
 	}
 	// Collect the tenants under the shard locks, then query each outside
@@ -202,4 +240,13 @@ func (c *Controller) Stats() Stats {
 		st.Tasks += sys.NumTasks()
 	}
 	return st
+}
+
+// proberOrNil converts a possibly-nil *parallel.Engine into a core.Prober
+// without producing a typed-nil interface.
+func proberOrNil(e *parallel.Engine) core.Prober {
+	if e == nil {
+		return nil
+	}
+	return e
 }

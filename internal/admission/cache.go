@@ -77,6 +77,19 @@ type cacheShard struct {
 	mu sync.Mutex
 	m  map[cacheKey]*list.Element
 	ll *list.List // front = most recently used
+	// inflight holds the analyses currently being computed through do(), so
+	// concurrent identical probes (parallel candidate scans, simultaneous
+	// tenants) wait for one run instead of duplicating it.
+	inflight map[cacheKey]*flight
+}
+
+// flight is one in-progress analysis that concurrent callers wait on.
+type flight struct {
+	done chan struct{}
+	// ok is the verdict; valid only after done is closed with aborted=false.
+	ok bool
+	// aborted marks a flight whose compute panicked; waiters retry.
+	aborted bool
 }
 
 type cacheEntry struct {
@@ -104,6 +117,7 @@ func newVerdictCache(capacity, stripes int) *verdictCache {
 	for i := range c.shards {
 		c.shards[i].m = make(map[cacheKey]*list.Element)
 		c.shards[i].ll = list.New()
+		c.shards[i].inflight = make(map[cacheKey]*flight)
 	}
 	return c
 }
@@ -116,24 +130,9 @@ func (c *verdictCache) shard(k cacheKey) *cacheShard {
 	return &c.shards[h%uint64(len(c.shards))]
 }
 
-// lookup returns (verdict, true) on a hit.
-func (c *verdictCache) lookup(k cacheKey) (bool, bool) {
-	if c == nil {
-		return false, false
-	}
-	s := c.shard(k)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, hit := s.m[k]
-	if !hit {
-		return false, false
-	}
-	s.ll.MoveToFront(el)
-	return el.Value.(cacheEntry).ok, true
-}
-
 // store records a verdict, evicting the least recently used entry of the
-// stripe when full.
+// stripe when full. The live read path is do(), which looks up, dedups and
+// stores in one flow; store exists for direct cache seeding (tests).
 func (c *verdictCache) store(k cacheKey, ok bool) {
 	if c == nil {
 		return
@@ -141,6 +140,11 @@ func (c *verdictCache) store(k cacheKey, ok bool) {
 	s := c.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	c.storeLocked(s, k, ok)
+}
+
+// storeLocked is store's body; the caller holds s.mu.
+func (c *verdictCache) storeLocked(s *cacheShard, k cacheKey, ok bool) {
 	if el, dup := s.m[k]; dup {
 		s.ll.MoveToFront(el)
 		el.Value = cacheEntry{key: k, ok: ok}
@@ -152,6 +156,62 @@ func (c *verdictCache) store(k cacheKey, ok bool) {
 		delete(s.m, old.Value.(cacheEntry).key)
 	}
 	s.m[k] = s.ll.PushFront(cacheEntry{key: k, ok: ok})
+}
+
+// Outcomes of verdictCache.do.
+const (
+	// flightRan: this call executed the analysis itself.
+	flightRan = iota
+	// flightHit: the verdict was already cached.
+	flightHit
+	// flightShared: an identical analysis was in flight; this call waited
+	// for its verdict instead of duplicating the work (single-flight dedup).
+	flightShared
+)
+
+// do returns the verdict for k, running compute at most once across all
+// concurrent callers with the same key: a cached verdict is returned
+// immediately, a key with an analysis already in flight waits for that
+// analysis, and otherwise this call becomes the flight leader, computes, and
+// publishes the verdict to the cache and to every waiter. The returned
+// outcome is one of flightRan, flightHit, flightShared.
+func (c *verdictCache) do(k cacheKey, compute func() bool) (bool, int) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, hit := s.m[k]; hit {
+		s.ll.MoveToFront(el)
+		ok := el.Value.(cacheEntry).ok
+		s.mu.Unlock()
+		return ok, flightHit
+	}
+	if f, dup := s.inflight[k]; dup {
+		s.mu.Unlock()
+		<-f.done
+		if f.aborted {
+			// The leader panicked out of compute; settle the key ourselves.
+			return c.do(k, compute)
+		}
+		return f.ok, flightShared
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.mu.Unlock()
+
+	settled := false
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, k)
+		if settled {
+			c.storeLocked(s, k, f.ok)
+		} else {
+			f.aborted = true
+		}
+		s.mu.Unlock()
+		close(f.done)
+	}()
+	f.ok = compute()
+	settled = true
+	return f.ok, flightRan
 }
 
 // len returns the number of cached verdicts across all stripes.

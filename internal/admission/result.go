@@ -34,6 +34,10 @@ type AdmitResult struct {
 	// CacheHits is the number of analyses answered from the verdict cache
 	// instead of being run.
 	CacheHits int `json:"cache_hits"`
+	// Shared is the number of analyses answered by waiting on an identical
+	// analysis already in flight (single-flight dedup); only parallel
+	// probing (Config.Workers > 1) or concurrent tenants produce them.
+	Shared int `json:"shared,omitempty"`
 	// Reason explains a rejection in human terms; empty when admitted.
 	Reason string `json:"reason,omitempty"`
 }
@@ -47,9 +51,11 @@ type BatchResult struct {
 	// (decreasing level utilization, the paper's sorting rule). On a
 	// rejected batch, entries after the first misfit are absent.
 	Results []AdmitResult `json:"results"`
-	// Tests and CacheHits aggregate the analysis accounting over the batch.
+	// Tests, CacheHits and Shared aggregate the analysis accounting over
+	// the batch.
 	Tests     int `json:"tests"`
 	CacheHits int `json:"cache_hits"`
+	Shared    int `json:"shared,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the controller's counters.
@@ -65,10 +71,12 @@ type Stats struct {
 	Probes   uint64 `json:"probes"`
 	Releases uint64 `json:"releases"`
 	// TestsRun counts uniprocessor analyses actually executed; CacheHits
-	// counts analyses answered by the verdict cache. Their sum is the
-	// total analysis demand.
+	// counts analyses answered by the verdict cache; Dedups counts analyses
+	// answered by waiting on an identical in-flight analysis (single-flight
+	// dedup under parallel probing). Their sum is the total analysis demand.
 	TestsRun  uint64 `json:"tests_run"`
 	CacheHits uint64 `json:"cache_hits"`
+	Dedups    uint64 `json:"dedups"`
 	// CacheSize is the current number of cached verdicts.
 	CacheSize int `json:"cache_size"`
 }

@@ -1,0 +1,270 @@
+package admission
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mcsched/internal/mcs"
+	"mcsched/internal/taskgen"
+)
+
+// replayOp is one step of a recorded admission sequence.
+type replayOp struct {
+	kind  int // 0 admit, 1 probe, 2 release, 3 batch admit, 4 batch probe
+	task  mcs.Task
+	batch mcs.TaskSet
+	id    int
+}
+
+// buildSequence derives a deterministic mixed admit/probe/release/batch
+// workload for one schedulability test.
+func buildSequence(t *testing.T, seed int64, constrained bool) []replayOp {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := taskgen.DefaultConfig(4, 0.45, 0.3, 0.35)
+	cfg.Constrained = constrained
+	var ops []replayOp
+	nextID := 0
+	var live []int
+	for round := 0; round < 5; round++ {
+		ts, err := taskgen.Generate(rng, cfg)
+		if err != nil {
+			continue
+		}
+		for i := range ts {
+			ts[i].ID = nextID
+			nextID++
+		}
+		if round%2 == 1 && len(ts) > 3 {
+			// Use a slice of the set as an all-or-nothing batch.
+			batch := ts[:4].Clone()
+			if rng.Intn(2) == 0 {
+				ops = append(ops, replayOp{kind: 4, batch: batch})
+			}
+			ops = append(ops, replayOp{kind: 3, batch: batch})
+			for _, task := range batch {
+				live = append(live, task.ID)
+			}
+			ts = ts[4:]
+		}
+		for _, task := range ts {
+			switch rng.Intn(8) {
+			case 0:
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					ops = append(ops, replayOp{kind: 2, id: live[i]})
+					live = append(live[:i], live[i+1:]...)
+				}
+			case 1:
+				ops = append(ops, replayOp{kind: 1, task: task})
+			default:
+				ops = append(ops, replayOp{kind: 0, task: task})
+				live = append(live, task.ID)
+			}
+		}
+	}
+	return ops
+}
+
+// replay drives the sequence against one system and fingerprints every
+// observable decision: verdict, core, and the full partition after each
+// mutation. Analysis accounting (Tests/CacheHits/Shared) is deliberately
+// excluded — speculative parallel probes may run more analyses than a
+// serial scan; the decisions must not differ.
+func replay(t *testing.T, sys *System, ops []replayOp) []string {
+	t.Helper()
+	var trace []string
+	resident := map[int]bool{}
+	for _, op := range ops {
+		switch op.kind {
+		case 0, 1:
+			if resident[op.task.ID] {
+				continue
+			}
+			var res AdmitResult
+			var err error
+			if op.kind == 0 {
+				res, err = sys.Admit(op.task)
+			} else {
+				res, err = sys.Probe(op.task)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if op.kind == 0 && res.Admitted {
+				resident[op.task.ID] = true
+			}
+			trace = append(trace, fmt.Sprintf("task %d admitted=%v core=%d", op.task.ID, res.Admitted, res.Core))
+		case 2:
+			if !resident[op.id] {
+				continue
+			}
+			if _, err := sys.Release(op.id); err != nil {
+				t.Fatal(err)
+			}
+			delete(resident, op.id)
+			trace = append(trace, fmt.Sprintf("release %d", op.id))
+		case 3, 4:
+			fresh := make(mcs.TaskSet, 0, len(op.batch))
+			for _, task := range op.batch {
+				if !resident[task.ID] {
+					fresh = append(fresh, task)
+				}
+			}
+			if len(fresh) == 0 {
+				continue
+			}
+			var br BatchResult
+			var err error
+			if op.kind == 3 {
+				br, err = sys.AdmitBatch(fresh)
+			} else {
+				br, err = sys.ProbeBatch(fresh)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if op.kind == 3 && br.Admitted {
+				for _, task := range fresh {
+					resident[task.ID] = true
+				}
+			}
+			line := fmt.Sprintf("batch admitted=%v:", br.Admitted)
+			for _, r := range br.Results {
+				line += fmt.Sprintf(" (%d,%v,%d)", r.TaskID, r.Admitted, r.Core)
+			}
+			trace = append(trace, line)
+		}
+		trace = append(trace, fmt.Sprint(sys.Snapshot()))
+	}
+	return trace
+}
+
+// TestSerialParallelEquivalence replays identical admission workloads
+// against a serial controller and parallel controllers with 2 and GOMAXPROCS
+// workers, for each of the paper's four schedulability tests and several
+// seeds, and requires bit-identical decision traces — same verdicts, same
+// cores, same partition after every mutation. This is the certification the
+// batch-parallel engine's wiring rests on; CI runs it under -race.
+func TestSerialParallelEquivalence(t *testing.T) {
+	workerCounts := []int{2, runtime.GOMAXPROCS(0)}
+	for _, test := range allTests() {
+		test := test
+		t.Run(test.Name(), func(t *testing.T) {
+			t.Parallel()
+			constrained := test.Name() != "EDF-VD"
+			for seed := int64(1); seed <= 3; seed++ {
+				ops := buildSequence(t, seed, constrained)
+				serialCtrl := NewController(Config{Workers: 1})
+				serialSys, err := serialCtrl.CreateSystem("eq", 4, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := replay(t, serialSys, ops)
+				for _, w := range workerCounts {
+					ctrl := NewController(Config{Workers: w})
+					sys, err := ctrl.CreateSystem("eq", 4, test)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := replay(t, sys, ops)
+					if len(got) != len(want) {
+						t.Fatalf("seed %d workers %d: trace length %d vs %d", seed, w, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d workers %d: step %d diverges\nserial:   %s\nparallel: %s",
+								seed, w, i, want[i], got[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSerialParallelEquivalenceUncached repeats a reduced equivalence sweep
+// with the verdict cache disabled, so the parallel path is exercised without
+// single-flight dedup masking ordering bugs.
+func TestSerialParallelEquivalenceUncached(t *testing.T) {
+	for _, test := range allTests() {
+		test := test
+		t.Run(test.Name(), func(t *testing.T) {
+			t.Parallel()
+			ops := buildSequence(t, 9, test.Name() != "EDF-VD")
+			mk := func(workers int) []string {
+				ctrl := NewController(Config{CacheCapacity: -1, Workers: workers})
+				sys, err := ctrl.CreateSystem("eq", 4, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return replay(t, sys, ops)
+			}
+			want, got := mk(1), mk(-1) // serial vs GOMAXPROCS
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d diverges\nserial:   %s\nparallel: %s", i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelConcurrentTenants hammers one parallel controller from many
+// goroutines across several tenants — the daemon's traffic shape — to give
+// the race detector surface over the engine, the single-flight cache and the
+// shared counters.
+func TestParallelConcurrentTenants(t *testing.T) {
+	ctrl := NewController(Config{Workers: 4})
+	const tenants = 4
+	for i := 0; i < tenants; i++ {
+		if _, err := ctrl.CreateSystem(fmt.Sprintf("t%d", i), 4, allTests()[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			cfg := taskgen.DefaultConfig(4, 0.4, 0.3, 0.3)
+			sys, err := ctrl.System(fmt.Sprintf("t%d", g%tenants))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for round := 0; round < 3; round++ {
+				ts, err := taskgen.Generate(rng, cfg)
+				if err != nil {
+					continue
+				}
+				for i := range ts {
+					ts[i].ID = g*100000 + round*1000 + i
+				}
+				for _, task := range ts {
+					sys.Probe(task)
+					res, err := sys.Admit(task)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if res.Admitted && task.ID%2 == 0 {
+						if _, err := sys.Release(task.ID); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := ctrl.Stats()
+	if st.TestsRun == 0 {
+		t.Errorf("no analyses ran: %+v", st)
+	}
+}

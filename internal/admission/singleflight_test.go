@@ -1,0 +1,101 @@
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSingleFlightDedup proves the tentpole cache property: N concurrent
+// do() calls for the same key run the analysis exactly once — one leader
+// computes, every other caller reports flightShared — and all observe the
+// same verdict.
+func TestSingleFlightDedup(t *testing.T) {
+	cache := newVerdictCache(64, 4)
+	key := cacheKey{test: "T", set: setKey{sum: 7, xor: 7, n: 1}}
+
+	const callers = 8
+	var computes atomic.Int32
+	started := make(chan struct{})        // closed when the leader is inside compute
+	release := make(chan struct{})        // closed to let the leader finish
+	outcomes := make(chan int, callers-1) // followers' outcomes
+
+	var wg sync.WaitGroup
+	leaderOutcome := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ok, outcome := cache.do(key, func() bool {
+			computes.Add(1)
+			close(started)
+			<-release
+			return true
+		})
+		if !ok {
+			t.Error("leader got verdict false, want true")
+		}
+		leaderOutcome <- outcome
+	}()
+
+	<-started // the analysis is in flight; everyone below must wait on it
+	for i := 0; i < callers-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, outcome := cache.do(key, func() bool {
+				computes.Add(1)
+				return false // a duplicated run would poison the verdict
+			})
+			if !ok {
+				t.Error("follower got verdict false, want true")
+			}
+			outcomes <- outcome
+		}()
+	}
+	// Release the leader; followers that reached the flight wait on it, any
+	// that arrive later hit the stored verdict — both count as deduped.
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("analysis ran %d times, want 1", got)
+	}
+	if got := <-leaderOutcome; got != flightRan {
+		t.Errorf("leader outcome %d, want flightRan", got)
+	}
+	close(outcomes)
+	for outcome := range outcomes {
+		if outcome != flightShared && outcome != flightHit {
+			t.Errorf("follower outcome %d, want flightShared or flightHit", outcome)
+		}
+	}
+	// The verdict must now be cached for everyone.
+	if ok, outcome := cache.do(key, func() bool { return false }); !ok || outcome != flightHit {
+		t.Errorf("post-flight do = (%v, %d), want (true, flightHit)", ok, outcome)
+	}
+	if cache.len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", cache.len())
+	}
+}
+
+// TestSingleFlightAbort verifies that a panicking analysis does not wedge
+// waiters or poison the cache: the flight is marked aborted, waiters retry
+// and settle the key themselves.
+func TestSingleFlightAbort(t *testing.T) {
+	cache := newVerdictCache(64, 4)
+	key := cacheKey{test: "T", set: setKey{sum: 9, xor: 9, n: 1}}
+
+	func() {
+		defer func() { recover() }()
+		cache.do(key, func() bool { panic("analysis blew up") })
+	}()
+
+	// The key must be fully settled: no stuck flight, no cached entry.
+	if cache.len() != 0 {
+		t.Fatalf("aborted flight cached %d entries", cache.len())
+	}
+	ok, outcome := cache.do(key, func() bool { return true })
+	if !ok || outcome != flightRan {
+		t.Fatalf("retry after abort = (%v, %d), want (true, flightRan)", ok, outcome)
+	}
+}

@@ -22,52 +22,70 @@ type System struct {
 	resident map[int]bool // task IDs currently placed
 }
 
-// cachedTest adapts a core.Test with the controller's shared verdict cache.
-// The per-request tally fields are only touched under the owning System's
-// mutex; the global counters are atomics on the controller.
+// cachedTest adapts a core.Test with the controller's shared verdict cache
+// and single-flight dedup. The per-request tally fields are atomics because
+// a parallel prober invokes Schedulable from several goroutines within one
+// decision; the global counters are atomics on the controller.
 type cachedTest struct {
 	inner core.Test
 	cache *verdictCache
 	stats *counters
-	// tallyTests and tallyHits accumulate per-request accounting between
-	// resetTally/readTally calls.
-	tallyTests, tallyHits int
+	// tallyTests, tallyHits and tallyShared accumulate per-request
+	// accounting between resetTally/readTally calls.
+	tallyTests, tallyHits, tallyShared atomic.Int64
 }
 
 // Name implements core.Test.
 func (t *cachedTest) Name() string { return t.inner.Name() }
 
-// Schedulable implements core.Test, consulting the verdict cache first.
+// Schedulable implements core.Test. With a cache, the decision goes through
+// the single-flight path: a cached verdict is a hit, a concurrent identical
+// analysis is waited on (shared), and otherwise the analysis runs here. It
+// is safe for concurrent invocation, which parallel candidate probing
+// relies on.
 func (t *cachedTest) Schedulable(ts mcs.TaskSet) bool {
-	if t.cache != nil {
-		k := cacheKey{test: t.inner.Name(), set: t.cache.keyOf(ts)}
-		if ok, hit := t.cache.lookup(k); hit {
-			t.tallyHits++
-			atomic.AddUint64(&t.stats.cacheHits, 1)
-			return ok
-		}
-		ok := t.inner.Schedulable(ts)
-		t.tallyTests++
+	if t.cache == nil {
+		t.tallyTests.Add(1)
 		atomic.AddUint64(&t.stats.testsRun, 1)
-		t.cache.store(k, ok)
-		return ok
+		return t.inner.Schedulable(ts)
 	}
-	t.tallyTests++
-	atomic.AddUint64(&t.stats.testsRun, 1)
-	return t.inner.Schedulable(ts)
+	k := cacheKey{test: t.inner.Name(), set: t.cache.keyOf(ts)}
+	ok, outcome := t.cache.do(k, func() bool { return t.inner.Schedulable(ts) })
+	switch outcome {
+	case flightRan:
+		t.tallyTests.Add(1)
+		atomic.AddUint64(&t.stats.testsRun, 1)
+	case flightHit:
+		t.tallyHits.Add(1)
+		atomic.AddUint64(&t.stats.cacheHits, 1)
+	case flightShared:
+		t.tallyShared.Add(1)
+		atomic.AddUint64(&t.stats.dedups, 1)
+	}
+	return ok
 }
 
-func (t *cachedTest) resetTally() { t.tallyTests, t.tallyHits = 0, 0 }
+func (t *cachedTest) resetTally() {
+	t.tallyTests.Store(0)
+	t.tallyHits.Store(0)
+	t.tallyShared.Store(0)
+}
 
-func (t *cachedTest) readTally() (tests, hits int) { return t.tallyTests, t.tallyHits }
+func (t *cachedTest) readTally() (tests, hits, shared int) {
+	return int(t.tallyTests.Load()), int(t.tallyHits.Load()), int(t.tallyShared.Load())
+}
 
 // newSystem wires a tenant over m cores judged by test, sharing the
-// controller's verdict cache and counters.
-func newSystem(id string, m int, test core.Test, cache *verdictCache, stats *counters) *System {
+// controller's verdict cache, counters and probe engine.
+func newSystem(id string, m int, test core.Test, cache *verdictCache, stats *counters, prober core.Prober) *System {
 	ct := &cachedTest{inner: test, cache: cache, stats: stats}
+	asn := core.NewAssigner(m, ct)
+	if prober != nil {
+		asn.SetProber(prober)
+	}
 	return &System{
 		id:       id,
-		asn:      core.NewAssigner(m, ct),
+		asn:      asn,
 		ct:       ct,
 		resident: make(map[int]bool),
 	}
@@ -114,25 +132,21 @@ func (s *System) validateIncoming(t mcs.Task) error {
 
 // place runs the UDP online placement for one task: cores are tried
 // worst-fit by utilization difference for HC tasks, first-fit for LC tasks,
-// and only the candidate core's task set is re-analyzed. commit=false is a
-// probe. Caller holds s.mu.
+// and only the candidate core's task set is re-analyzed. The candidate
+// probes go through the assigner's prober, so with a parallel engine
+// configured they fan out across worker goroutines — the chosen core is
+// identical to a serial scan either way. commit=false is a probe. Caller
+// holds s.mu.
 func (s *System) place(t mcs.Task, commit bool) AdmitResult {
 	res := AdmitResult{TaskID: t.ID, Core: -1, Probed: !commit}
-	for _, k := range s.asn.PlacementOrder(t) {
-		ok := false
+	if k := s.asn.FirstFitting(t, s.asn.PlacementOrder(t)); k >= 0 {
+		res.Admitted = true
+		res.Core = k
 		if commit {
-			ok = s.asn.TryAssign(t, k)
-		} else {
-			ok = s.asn.Fits(t, k)
+			s.asn.Commit(t, k)
+			s.resident[t.ID] = true
 		}
-		if ok {
-			res.Admitted = true
-			res.Core = k
-			if commit {
-				s.resident[t.ID] = true
-			}
-			return res
-		}
+		return res
 	}
 	res.Reason = fmt.Sprintf("task %d fits on no core under %s", t.ID, s.ct.Name())
 	return res
@@ -156,7 +170,7 @@ func (s *System) decide(t mcs.Task, commit bool) (AdmitResult, error) {
 	}
 	s.ct.resetTally()
 	res := s.place(t, commit)
-	res.Tests, res.CacheHits = s.ct.readTally()
+	res.Tests, res.CacheHits, res.Shared = s.ct.readTally()
 	switch {
 	case !commit:
 		atomic.AddUint64(&s.ct.stats.probes, 1)
@@ -207,10 +221,12 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 	for _, t := range ordered {
 		// Batch placement always commits tentatively so later tasks see
 		// earlier ones; a probe (or a misfit) rolls the placements back.
-		beforeTests, beforeHits := s.ct.readTally()
+		beforeTests, beforeHits, beforeShared := s.ct.readTally()
 		res := s.place(t, true)
-		afterTests, afterHits := s.ct.readTally()
-		res.Tests, res.CacheHits = afterTests-beforeTests, afterHits-beforeHits
+		afterTests, afterHits, afterShared := s.ct.readTally()
+		res.Tests = afterTests - beforeTests
+		res.CacheHits = afterHits - beforeHits
+		res.Shared = afterShared - beforeShared
 		out.Results = append(out.Results, res)
 		if !res.Admitted {
 			out.Admitted = false
@@ -229,7 +245,7 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 			out.Results[i].Probed = true
 		}
 	}
-	out.Tests, out.CacheHits = s.ct.readTally()
+	out.Tests, out.CacheHits, out.Shared = s.ct.readTally()
 	switch {
 	case !commit:
 		atomic.AddUint64(&s.ct.stats.probes, uint64(len(out.Results)))

@@ -1,0 +1,164 @@
+// Package parallel is the batch-parallel analysis engine: a small
+// worker-pool layer that fans independent schedulability probes out across
+// goroutines while preserving the exact semantics of a serial scan.
+//
+// The package is deliberately generic — it knows nothing about tasks, cores
+// or tests. Two primitives cover every use in the repository:
+//
+//   - Engine.First evaluates an ordered sequence of predicates ("does core k
+//     accept this task?") and returns the first index that holds, exactly as
+//     a serial loop would, but evaluating up to Workers candidates
+//     concurrently in chunks. The partitioning strategies in internal/core
+//     and the admission hot path in internal/admission route their
+//     candidate-core scans through it.
+//   - Map evaluates an index-addressed function over [0, n) with bounded
+//     concurrency and returns the results in index order. The experiment
+//     driver in internal/experiments uses it for task-set-level parallelism
+//     of acceptance-ratio sweeps.
+//
+// Both primitives are deterministic for deterministic inputs: First returns
+// the same index a serial scan would, and Map's result slice is ordered by
+// index regardless of completion order. Speculative work (candidates probed
+// beyond the first hit within a chunk) affects only wall-clock time, never
+// results. Callers must supply functions that are safe for concurrent
+// invocation; the schedulability tests in internal/analysis/... are
+// stateless values and qualify.
+//
+// A panic inside a worker is captured and re-raised on the calling
+// goroutine after the in-flight chunk drains, so parallel execution panics
+// exactly where a serial loop would — in particular, an analysis panic in
+// the mcschedd daemon stays a per-request failure handled by net/http's
+// recover instead of killing the process from a bare goroutine.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// capturedPanic carries a worker panic back to the calling goroutine.
+type capturedPanic struct{ value any }
+
+// guard runs fn, converting a panic into a stored capturedPanic. first
+// keeps only the earliest capture so the re-raised panic is deterministic
+// under concurrency.
+func guard(first *atomic.Pointer[capturedPanic], fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			first.CompareAndSwap(nil, &capturedPanic{value: r})
+		}
+	}()
+	fn()
+}
+
+// rethrow re-raises a captured worker panic on the caller.
+func rethrow(first *atomic.Pointer[capturedPanic]) {
+	if p := first.Load(); p != nil {
+		panic(fmt.Sprintf("parallel: worker panicked: %v", p.value))
+	}
+}
+
+// Engine fans independent function evaluations across a fixed number of
+// worker goroutines. The zero value is not useful; use New. An Engine is
+// immutable after construction and safe for concurrent use by any number of
+// callers — goroutines are spawned per call, so idle engines cost nothing.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine with the given concurrency. workers <= 0 selects
+// GOMAXPROCS; workers == 1 yields a serial engine whose methods run inline
+// with no goroutines at all.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// Serial returns the inline single-worker engine.
+func Serial() *Engine { return &Engine{workers: 1} }
+
+// Workers reports the engine's concurrency.
+func (e *Engine) Workers() int { return e.workers }
+
+// First returns the smallest i in [0, n) for which pred(i) is true, or -1
+// when none holds — bit-identical to the serial scan
+//
+//	for i := 0; i < n; i++ { if pred(i) { return i } }
+//
+// but evaluating up to Workers predicates concurrently. Evaluation proceeds
+// in chunks of Workers indices: a chunk is fully evaluated in parallel, then
+// scanned in order, so at most Workers−1 speculative evaluations are wasted
+// past the winning index. pred must be safe for concurrent invocation and
+// should be pure; impure predicates still yield the serial answer as long as
+// each pred(i) is independent of the others.
+func (e *Engine) First(n int, pred func(i int) bool) int {
+	if e.workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	hits := make([]bool, min(e.workers, n))
+	var first atomic.Pointer[capturedPanic]
+	for base := 0; base < n; base += len(hits) {
+		c := min(len(hits), n-base)
+		var wg sync.WaitGroup
+		for j := 1; j < c; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				guard(&first, func() { hits[j] = pred(base + j) })
+			}(j)
+		}
+		// The calling goroutine evaluates the chunk's first index itself, so
+		// a serial engine path is never slower than the plain loop.
+		guard(&first, func() { hits[0] = pred(base) })
+		wg.Wait()
+		rethrow(&first)
+		for j := 0; j < c; j++ {
+			if hits[j] {
+				return base + j
+			}
+		}
+	}
+	return -1
+}
+
+// Map evaluates fn(i) for every i in [0, n) across the engine's workers and
+// returns the results in index order. Work is handed out dynamically, so
+// uneven per-index cost balances across workers; the result ordering is
+// deterministic regardless. fn must be safe for concurrent invocation.
+func Map[T any](e *Engine, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if e.workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var first atomic.Pointer[capturedPanic]
+	var wg sync.WaitGroup
+	for w := 0; w < min(e.workers, n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for first.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				guard(&first, func() { out[i] = fn(i) })
+			}
+		}()
+	}
+	wg.Wait()
+	rethrow(&first)
+	return out
+}

@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// serialFirst is the reference semantics First must reproduce.
+func serialFirst(n int, pred func(int) bool) int {
+	for i := 0; i < n; i++ {
+		if pred(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestFirstMatchesSerial fuzzes random predicate vectors across worker
+// counts and requires the parallel scan to return exactly the serial answer.
+func TestFirstMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2017))
+	workers := []int{1, 2, 3, 7, runtime.GOMAXPROCS(0)}
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(20)
+		truth := make([]bool, n)
+		for i := range truth {
+			truth[i] = rng.Intn(4) == 0
+		}
+		pred := func(i int) bool { return truth[i] }
+		want := serialFirst(n, pred)
+		for _, w := range workers {
+			if got := New(w).First(n, pred); got != want {
+				t.Fatalf("trial %d workers %d: First=%d want %d (truth %v)",
+					trial, w, got, want, truth)
+			}
+		}
+	}
+}
+
+// TestFirstBoundsSpeculation verifies the chunking contract: no index beyond
+// the winning chunk is ever evaluated.
+func TestFirstBoundsSpeculation(t *testing.T) {
+	const n, w, hit = 64, 4, 5 // hit inside the second chunk [4,8)
+	var calls [n]atomic.Int32
+	e := New(w)
+	got := e.First(n, func(i int) bool {
+		calls[i].Add(1)
+		return i == hit
+	})
+	if got != hit {
+		t.Fatalf("First=%d want %d", got, hit)
+	}
+	limit := (hit/w + 1) * w // end of the winning chunk
+	for i := range calls {
+		c := calls[i].Load()
+		if i < limit && c != 1 {
+			t.Errorf("index %d evaluated %d times, want 1", i, c)
+		}
+		if i >= limit && c != 0 {
+			t.Errorf("index %d beyond winning chunk evaluated %d times", i, c)
+		}
+	}
+}
+
+// TestMapOrderAndCoverage checks Map evaluates every index exactly once and
+// returns results in index order for every worker count.
+func TestMapOrderAndCoverage(t *testing.T) {
+	for _, w := range []int{1, 2, 5, 16} {
+		e := New(w)
+		var calls [100]atomic.Int32
+		out := Map(e, len(calls), func(i int) int {
+			calls[i].Add(1)
+			return i * i
+		})
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers %d: out[%d]=%d want %d", w, i, v, i*i)
+			}
+			if c := calls[i].Load(); c != 1 {
+				t.Fatalf("workers %d: index %d evaluated %d times", w, i, c)
+			}
+		}
+	}
+}
+
+// TestPanicPropagation verifies a worker panic surfaces on the calling
+// goroutine — never on a bare goroutine, which would kill the process — for
+// both primitives and for serial and parallel engines.
+func TestPanicPropagation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: panic did not propagate to the caller", name)
+			}
+		}()
+		fn()
+	}
+	for _, w := range []int{1, 4} {
+		e := New(w)
+		mustPanic(fmt.Sprintf("First workers=%d", w), func() {
+			e.First(8, func(i int) bool {
+				if i == 2 {
+					panic("boom")
+				}
+				return false
+			})
+		})
+		mustPanic(fmt.Sprintf("Map workers=%d", w), func() {
+			Map(e, 8, func(i int) int {
+				if i == 2 {
+					panic("boom")
+				}
+				return i
+			})
+		})
+	}
+}
+
+// TestDefaultsAndEdges pins the constructor conventions and the empty-input
+// behavior.
+func TestDefaultsAndEdges(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers()=%d want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers()=%d want GOMAXPROCS", got)
+	}
+	if got := Serial().Workers(); got != 1 {
+		t.Errorf("Serial().Workers()=%d want 1", got)
+	}
+	e := New(4)
+	if got := e.First(0, func(int) bool { return true }); got != -1 {
+		t.Errorf("First over empty domain = %d want -1", got)
+	}
+	if out := Map(e, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Errorf("Map over empty domain returned %v", out)
+	}
+}

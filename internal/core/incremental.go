@@ -21,6 +21,9 @@ type Assigner struct {
 	ulh   []float64 // Σ u^L of HC tasks per core
 	uhh   []float64 // Σ u^H of HC tasks per core
 	test  Test
+	// prober decides candidate-core scans; serial by default, fanned across
+	// worker goroutines when SetProber installs a parallel engine.
+	prober Prober
 	// lastCore is the core of the most recent successful TryAssign; used
 	// by strategies that maintain their own fit keys.
 	lastCore int
@@ -33,8 +36,21 @@ func NewAssigner(m int, test Test) *Assigner {
 		ulh:      make([]float64, m),
 		uhh:      make([]float64, m),
 		test:     test,
+		prober:   serialProber{},
 		lastCore: -1,
 	}
+}
+
+// SetProber routes the assigner's candidate-core scans (FirstFit,
+// WorstFitBy, FirstFitting) through p — typically a parallel engine. Any
+// conforming Prober returns the index a serial scan would, so placements are
+// unchanged; only the probes of one placement run concurrently. A nil p
+// restores the serial scan.
+func (a *Assigner) SetProber(p Prober) {
+	if p == nil {
+		p = serialProber{}
+	}
+	a.prober = p
 }
 
 // NumCores returns the number of processors.
@@ -72,17 +88,39 @@ func (a *Assigner) Fits(task mcs.Task, k int) bool {
 
 // TryAssign tests the task on core k and commits it if schedulable.
 func (a *Assigner) TryAssign(task mcs.Task, k int) bool {
-	cand := append(a.cores[k][:len(a.cores[k]):len(a.cores[k])], task)
-	if !a.test.Schedulable(cand) {
+	if !a.Fits(task, k) {
 		return false
 	}
-	a.cores[k] = cand
+	a.Commit(task, k)
+	return true
+}
+
+// Commit places the task on core k without re-running the schedulability
+// test. Callers pass a core that just passed Fits or FirstFitting (with no
+// intervening mutation); committing an untested placement voids the
+// invariant that every core passes the test.
+func (a *Assigner) Commit(task mcs.Task, k int) {
+	a.cores[k] = append(a.cores[k][:len(a.cores[k]):len(a.cores[k])], task)
 	if task.IsHC() {
 		a.ulh[k] += task.ULo
 		a.uhh[k] += task.UHi
 	}
 	a.lastCore = k
-	return true
+}
+
+// FirstFitting returns the first core of order that would accept the task,
+// or -1 when none fits. The probes are delegated to the configured Prober,
+// so a parallel engine evaluates up to its worker count of candidates
+// concurrently; the chosen core is identical to a serial scan either way.
+// Nothing is committed.
+func (a *Assigner) FirstFitting(task mcs.Task, order []int) int {
+	i := a.prober.First(len(order), func(i int) bool {
+		return a.Fits(task, order[i])
+	})
+	if i < 0 {
+		return -1
+	}
+	return order[i]
 }
 
 // Remove takes the task with the given ID off its core and returns it. The
@@ -128,12 +166,22 @@ func (a *Assigner) PlacementOrder(task mcs.Task) []int {
 
 // FirstFit tries cores in index order.
 func (a *Assigner) FirstFit(task mcs.Task) bool {
-	for k := range a.cores {
-		if a.TryAssign(task, k) {
-			return true
-		}
+	order := make([]int, len(a.cores))
+	for i := range order {
+		order[i] = i
 	}
-	return false
+	return a.placeInOrder(task, order)
+}
+
+// placeInOrder probes the candidate cores in the given order (via the
+// prober) and commits the task on the first fit.
+func (a *Assigner) placeInOrder(task mcs.Task, order []int) bool {
+	k := a.FirstFitting(task, order)
+	if k < 0 {
+		return false
+	}
+	a.Commit(task, k)
+	return true
 }
 
 // WorstFitBy tries cores in increasing order of key(k), ties by index —
@@ -163,12 +211,7 @@ func (a *Assigner) fitBy(task mcs.Task, key func(k int) float64, desc bool) bool
 		}
 		return order[x] < order[y]
 	})
-	for _, k := range order {
-		if a.TryAssign(task, k) {
-			return true
-		}
-	}
-	return false
+	return a.placeInOrder(task, order)
 }
 
 // Partition hands the assignment over as a Partition. The strategies call

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mcsched/internal/analysis/edfvd"
+	"mcsched/internal/analysis/parallel"
+	"mcsched/internal/mcs"
+	"mcsched/internal/taskgen"
+)
+
+// barrierTest blocks every Schedulable call until release is closed, so a
+// test run can prove that multiple probes are in flight at once.
+type barrierTest struct {
+	inner   Test
+	calls   chan struct{}
+	release chan struct{}
+}
+
+func (c barrierTest) Name() string { return c.inner.Name() }
+func (c barrierTest) Schedulable(ts mcs.TaskSet) bool {
+	c.calls <- struct{}{}
+	<-c.release
+	return c.inner.Schedulable(ts)
+}
+
+// TestSerialParallelEquivalencePartition partitions identical task sets with
+// the serial strategies and their Parallelize'd copies across worker counts
+// 1, 2 and GOMAXPROCS, for every strategy, and requires bit-identical
+// partitions (same tasks on the same cores, same order) and identical
+// failure outcomes.
+func TestSerialParallelEquivalencePartition(t *testing.T) {
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	test := edfvd.Test{}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := taskgen.DefaultConfig(4, 0.45, 0.3, 0.35)
+		ts, err := taskgen.Generate(rng, cfg)
+		if err != nil {
+			continue
+		}
+		for _, s := range Strategies() {
+			serial, serialErr := s.Partition(ts, 4, test)
+			for _, w := range workerCounts {
+				ps := Parallelize(s, parallel.New(w))
+				if ps.Name() != s.Name() {
+					t.Fatalf("Parallelize changed name: %q vs %q", ps.Name(), s.Name())
+				}
+				par, parErr := ps.Partition(ts, 4, test)
+				if (serialErr == nil) != (parErr == nil) {
+					t.Fatalf("seed %d %s workers %d: error divergence %v vs %v",
+						seed, s.Name(), w, serialErr, parErr)
+				}
+				if serialErr == nil && !reflect.DeepEqual(serial, par) {
+					t.Fatalf("seed %d %s workers %d: partitions diverge\nserial: %v\nparallel: %v",
+						seed, s.Name(), w, serial, par)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelProbesRunConcurrently pins that a parallel prober issues
+// analyses from multiple goroutines within one placement: with 4 workers and
+// 4 candidate cores that all reject, the first chunk must hold 4 calls
+// before any can be released.
+func TestParallelProbesRunConcurrently(t *testing.T) {
+	const m = 4
+	ct := barrierTest{
+		inner:   rejectAll{},
+		calls:   make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	a := NewAssigner(m, ct)
+	a.SetProber(parallel.New(m))
+	done := make(chan bool)
+	go func() { done <- a.FirstFit(mcs.NewLC(1, 1, 10)) }()
+	// All m probes of the single chunk must check in while every one of them
+	// is still blocked on the barrier: they are in flight concurrently. A
+	// serial scan would hang here (and fail the test by timeout) because its
+	// first probe never returns until released.
+	for i := 0; i < m; i++ {
+		<-ct.calls
+	}
+	close(ct.release)
+	if ok := <-done; ok {
+		t.Fatal("rejecting test admitted a task")
+	}
+}
+
+// TestSetProberNilRestoresSerial covers the documented nil reset.
+func TestSetProberNilRestoresSerial(t *testing.T) {
+	a := NewAssigner(2, acceptAll{})
+	a.SetProber(parallel.New(2))
+	a.SetProber(nil)
+	if !a.FirstFit(mcs.NewLC(1, 1, 10)) {
+		t.Fatal("serial assigner rejected a trivial task")
+	}
+	if a.LastCore() != 0 {
+		t.Fatalf("first-fit placed on core %d, want 0", a.LastCore())
+	}
+}

@@ -9,6 +9,14 @@
 // processor fails the partitioning. A Strategy combined with a Test forms
 // an Algorithm — a complete partitioned MC scheduling algorithm such as
 // "CU-UDP-EDF-VD".
+//
+// Candidate-core scans — the inner loop of every strategy, and where nearly
+// all partitioning time is spent on the iterative tests (AMC in particular)
+// — are routed through a Prober. The default prober scans serially; wrapping
+// a strategy with Parallelize (or calling Assigner.SetProber with an
+// internal/analysis/parallel.Engine) fans the probes of each placement
+// across worker goroutines. Probers are contractually order-preserving, so
+// serial and parallel runs produce bit-identical partitions.
 package core
 
 import (
@@ -88,6 +96,78 @@ func (e FailError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrUnpartitionable) work.
 func (e FailError) Unwrap() error { return ErrUnpartitionable }
+
+// Prober decides ordered candidate scans for the Assigner: First returns
+// the smallest i in [0, n) for which pred(i) holds, or -1 — exactly the
+// semantics of a serial loop. Parallel implementations (such as
+// internal/analysis/parallel.Engine) may evaluate predicates speculatively
+// across goroutines; pred must then be safe for concurrent invocation, which
+// the Assigner's probes and every test in internal/analysis/... guarantee.
+// Any implementation must return the serial answer, so swapping probers
+// never changes placement results, only wall-clock time.
+type Prober interface {
+	First(n int, pred func(i int) bool) int
+}
+
+// serialProber is the default inline scan.
+type serialProber struct{}
+
+func (serialProber) First(n int, pred func(i int) bool) int {
+	for i := 0; i < n; i++ {
+		if pred(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Par is the optional parallel-probing configuration embedded by every
+// strategy struct. Its zero value scans candidate cores serially; setting
+// Prober (see Parallelize) fans the candidate probes of each placement
+// across the prober's workers.
+type Par struct {
+	// Prober, when non-nil, decides candidate-core scans.
+	Prober Prober
+}
+
+// configure installs the prober, if any, on a freshly built assigner.
+func (p Par) configure(a *Assigner) {
+	if p.Prober != nil {
+		a.SetProber(p.Prober)
+	}
+}
+
+// Parallelize returns a copy of the strategy whose candidate-core probes are
+// decided by p — for the known strategy types this fans every placement's
+// core scan across p's workers while preserving the worst-fit/first-fit
+// order, so the resulting partitions are bit-identical to the serial run.
+// Strategy implementations from outside this package are returned unchanged.
+func Parallelize(s Strategy, p Prober) Strategy {
+	switch t := s.(type) {
+	case UDP:
+		t.Prober = p
+		return t
+	case CANoSortFF:
+		t.Prober = p
+		return t
+	case CAFF:
+		t.Prober = p
+		return t
+	case CAWuF:
+		t.Prober = p
+		return t
+	case ECAWuF:
+		t.Prober = p
+		return t
+	case FFD:
+		t.Prober = p
+		return t
+	case WFD:
+		t.Prober = p
+		return t
+	}
+	return s
+}
 
 // Strategy is a partitioning strategy.
 type Strategy interface {

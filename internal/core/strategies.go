@@ -11,6 +11,7 @@ import (
 // each class sorted by its own utilization) versus CU-UDP (one merged
 // ordering by level utilization, so heavy LC tasks allocate early).
 type UDP struct {
+	Par
 	// CriticalityAware selects CA-UDP; false is CU-UDP.
 	CriticalityAware bool
 	// NoSort disables the decreasing-utilization sort (ablation only; the
@@ -42,6 +43,7 @@ func (u UDP) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 		return Partition{}, err
 	}
 	st := NewAssigner(m, test)
+	u.configure(st)
 
 	var seq mcs.TaskSet
 	if u.CriticalityAware {
@@ -75,17 +77,18 @@ func (u UDP) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 // criticality-aware allocation in generation order (no utilization sort),
 // first-fit for both classes. With the EDF-VD test it is the only
 // partitioned MC algorithm with a proven speed-up bound (8/3).
-type CANoSortFF struct{}
+type CANoSortFF struct{ Par }
 
 // Name implements Strategy.
 func (CANoSortFF) Name() string { return "CA(nosort)-F-F" }
 
 // Partition implements Strategy.
-func (CANoSortFF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
+func (s CANoSortFF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
 	st := NewAssigner(m, test)
+	s.configure(st)
 	for _, task := range append(ts.HC(), ts.LC()...) {
 		if !st.FirstFit(task) {
 			return Partition{}, FailError{Task: task}
@@ -97,17 +100,18 @@ func (CANoSortFF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error)
 // CAFF is the baseline CA-F-F of Rodriguez et al. (WMC 2013):
 // criticality-aware, each class sorted by decreasing level utilization,
 // first-fit for both classes.
-type CAFF struct{}
+type CAFF struct{ Par }
 
 // Name implements Strategy.
 func (CAFF) Name() string { return "CA-F-F" }
 
 // Partition implements Strategy.
-func (CAFF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
+func (s CAFF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
 	st := NewAssigner(m, test)
+	s.configure(st)
 	seq := append(sortedByLevelUtil(ts.HC()), sortedByLevelUtil(ts.LC())...)
 	for _, task := range seq {
 		if !st.FirstFit(task) {
@@ -121,17 +125,18 @@ func (CAFF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 // as the comparison point in the paper's Figure 1: HC tasks worst-fit by
 // UHH(φ_k) alone (ignoring the utilization difference), LC tasks first-fit;
 // both classes sorted by decreasing level utilization.
-type CAWuF struct{}
+type CAWuF struct{ Par }
 
 // Name implements Strategy.
 func (CAWuF) Name() string { return "CA-Wu-F" }
 
 // Partition implements Strategy.
-func (CAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
+func (s CAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
 	st := NewAssigner(m, test)
+	s.configure(st)
 	for _, task := range sortedByLevelUtil(ts.HC()) {
 		if !st.WorstFitBy(task, func(k int) float64 { return st.UHH(k) }) {
 			return Partition{}, FailError{Task: task}
@@ -150,17 +155,18 @@ func (CAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 // HC tasks (first-fit, decreasing utilization); HC tasks are then worst-fit
 // by UHH(φ_k); the remaining LC tasks are first-fit, decreasing. The paper
 // pairs this strategy with the EY test (ECA-Wu-F-EY).
-type ECAWuF struct{}
+type ECAWuF struct{ Par }
 
 // Name implements Strategy.
 func (ECAWuF) Name() string { return "ECA-Wu-F" }
 
 // Partition implements Strategy.
-func (ECAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
+func (s ECAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
 	st := NewAssigner(m, test)
+	s.configure(st)
 
 	hc := sortedByLevelUtil(ts.HC())
 	lc := sortedByLevelUtil(ts.LC())
@@ -198,17 +204,18 @@ func (ECAWuF) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 // FFD is the classic criticality-unaware first-fit decreasing strategy —
 // the best performer for conventional (non-MC) systems, included as a
 // reference point.
-type FFD struct{}
+type FFD struct{ Par }
 
 // Name implements Strategy.
 func (FFD) Name() string { return "FFD" }
 
 // Partition implements Strategy.
-func (FFD) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
+func (s FFD) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
 	st := NewAssigner(m, test)
+	s.configure(st)
 	for _, task := range sortedByLevelUtil(ts) {
 		if !st.FirstFit(task) {
 			return Partition{}, FailError{Task: task}
@@ -220,17 +227,18 @@ func (FFD) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 // WFD is criticality-unaware worst-fit decreasing by level utilization —
 // the strategy the paper's introduction cites as known-poor for MC systems;
 // included for ablations.
-type WFD struct{}
+type WFD struct{ Par }
 
 // Name implements Strategy.
 func (WFD) Name() string { return "WFD" }
 
 // Partition implements Strategy.
-func (WFD) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
+func (s WFD) Partition(ts mcs.TaskSet, m int, test Test) (Partition, error) {
 	if err := validateInput(ts, m); err != nil {
 		return Partition{}, err
 	}
 	st := NewAssigner(m, test)
+	s.configure(st)
 	load := make([]float64, m)
 	for _, task := range sortedByLevelUtil(ts) {
 		if !st.WorstFitBy(task, func(i int) float64 { return load[i] }) {

@@ -6,16 +6,18 @@
 //
 // All experiments are deterministic for a given Config: every task set is
 // drawn from an RNG seeded by a splitmix64 hash of (base seed, bucket, set),
-// so runs parallelize across task sets without changing results.
+// so runs parallelize across task sets without changing results. The
+// task-set fan-out rides the batch-parallel analysis engine
+// (internal/analysis/parallel); Config.Workers sets its width.
 package experiments
 
 import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 	"time"
 
+	"mcsched/internal/analysis/parallel"
 	"mcsched/internal/core"
 	"mcsched/internal/mcs"
 	"mcsched/internal/taskgen"
@@ -183,15 +185,19 @@ func drawSet(cfg Config, b taskgen.Bucket, bucketIdx, setIdx int) (mcs.TaskSet, 
 	return nil, false
 }
 
-// job is one unit of sweep work: a single task set evaluated by every
-// algorithm.
-type job struct {
-	bucketIdx int
-	setIdx    int
+// cell is the outcome of one unit of sweep work: a single task set drawn
+// and evaluated by every algorithm. drawn=false records a generation
+// failure.
+type cell struct {
+	drawn    bool
+	accepted []bool
 }
 
 // Run executes the sweep. Algorithms are evaluated on identical task sets
-// (paired comparison), and the work is spread over Workers goroutines.
+// (paired comparison), and task sets are spread over the batch-parallel
+// analysis engine with Workers goroutines: each (bucket, set) index is an
+// independent job whose result lands at a fixed index, so the aggregated
+// curves are identical for every worker count.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -206,69 +212,50 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("experiments: UB window [%g,%g] selects no buckets", cfg.UBMin, cfg.UBMax)
 	}
 
-	// accepted[bucket][algo] counts accepted sets; totals[bucket] evaluated sets.
-	accepted := make([][]int64, len(buckets))
+	eng := parallel.New(cfg.workers())
+	cells := parallel.Map(eng, len(buckets)*cfg.SetsPerUB, func(j int) cell {
+		bi, si := j/cfg.SetsPerUB, j%cfg.SetsPerUB
+		ts, ok := drawSet(cfg, buckets[bi], bi, si)
+		if !ok {
+			return cell{}
+		}
+		c := cell{drawn: true, accepted: make([]bool, len(cfg.Algorithms))}
+		for ai, algo := range cfg.Algorithms {
+			c.accepted[ai] = algo.Schedulable(ts, cfg.M)
+		}
+		return c
+	})
+
+	// Reduce the cells serially; accepted[bucket][algo] counts accepted
+	// sets, totals[bucket] evaluated sets.
+	accepted := make([][]int, len(buckets))
 	for i := range accepted {
-		accepted[i] = make([]int64, len(cfg.Algorithms))
+		accepted[i] = make([]int, len(cfg.Algorithms))
 	}
-	totals := make([]int64, len(buckets))
-	var genFailures int64
-
-	jobs := make(chan job, 64)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-
-	for w := 0; w < cfg.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Local tallies, merged under the mutex at the end.
-			acc := make([][]int64, len(buckets))
-			for i := range acc {
-				acc[i] = make([]int64, len(cfg.Algorithms))
+	totals := make([]int, len(buckets))
+	genFailures := 0
+	for j, c := range cells {
+		bi := j / cfg.SetsPerUB
+		if !c.drawn {
+			genFailures++
+			continue
+		}
+		totals[bi]++
+		for ai, ok := range c.accepted {
+			if ok {
+				accepted[bi][ai]++
 			}
-			tot := make([]int64, len(buckets))
-			var fails int64
-			for j := range jobs {
-				ts, ok := drawSet(cfg, buckets[j.bucketIdx], j.bucketIdx, j.setIdx)
-				if !ok {
-					fails++
-					continue
-				}
-				tot[j.bucketIdx]++
-				for ai, algo := range cfg.Algorithms {
-					if algo.Schedulable(ts, cfg.M) {
-						acc[j.bucketIdx][ai]++
-					}
-				}
-			}
-			mu.Lock()
-			for i := range acc {
-				totals[i] += tot[i]
-				for ai := range acc[i] {
-					accepted[i][ai] += acc[i][ai]
-				}
-			}
-			genFailures += fails
-			mu.Unlock()
-		}()
-	}
-	for bi := range buckets {
-		for si := 0; si < cfg.SetsPerUB; si++ {
-			jobs <- job{bucketIdx: bi, setIdx: si}
 		}
 	}
-	close(jobs)
-	wg.Wait()
 
-	res := Result{Config: cfg, GenFailures: int(genFailures), Elapsed: time.Since(start)}
+	res := Result{Config: cfg, GenFailures: genFailures, Elapsed: time.Since(start)}
 	for ai, algo := range cfg.Algorithms {
 		s := Series{Name: algo.Name()}
 		for bi, b := range buckets {
 			s.Points = append(s.Points, Point{
 				UB:       b.UB,
-				Accepted: int(accepted[bi][ai]),
-				Total:    int(totals[bi]),
+				Accepted: accepted[bi][ai],
+				Total:    totals[bi],
 			})
 		}
 		res.Series = append(res.Series, s)

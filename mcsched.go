@@ -10,6 +10,7 @@ import (
 	"mcsched/internal/analysis/edf"
 	"mcsched/internal/analysis/edfvd"
 	"mcsched/internal/analysis/ey"
+	"mcsched/internal/analysis/parallel"
 	"mcsched/internal/core"
 	"mcsched/internal/mcs"
 	"mcsched/internal/mcsio"
@@ -112,6 +113,20 @@ func WFD() Strategy { return core.WFD{} }
 
 // Strategies returns every named strategy in a stable order.
 func Strategies() []Strategy { return core.Strategies() }
+
+// Parallelize returns a copy of the strategy whose candidate-core probes fan
+// out across the given number of worker goroutines (0 selects GOMAXPROCS, 1
+// is the serial scan). The scan order is preserved, so partitions are
+// bit-identical to the serial strategy; only wall-clock time changes. The
+// win is largest with the iterative tests (AMC, ECDF) and large core
+// counts.
+//
+// Only the strategies provided by this package (Strategies, StrategyByName
+// and the constructors above) support parallel probing; a Strategy
+// implemented outside it is returned unchanged and keeps scanning serially.
+func Parallelize(s Strategy, workers int) Strategy {
+	return core.Parallelize(s, parallel.New(workers))
+}
 
 // StrategyByName resolves a strategy from its Name() string.
 func StrategyByName(name string) (Strategy, bool) { return core.StrategyByName(name) }
@@ -223,8 +238,10 @@ func TestByName(name string) (Test, bool) {
 // concurrent use and backs the cmd/mcschedd daemon.
 type AdmissionController = admission.Controller
 
-// AdmissionConfig parameterizes an AdmissionController (tenant-map stripes
-// and verdict-cache capacity).
+// AdmissionConfig parameterizes an AdmissionController: tenant-map stripes,
+// verdict-cache capacity, and the number of workers candidate-core probes
+// fan out across per decision (Workers > 1 turns on the batch-parallel
+// analysis engine; decisions stay bit-identical to the serial scan).
 type AdmissionConfig = admission.Config
 
 // AdmissionSystem is one tenant of an AdmissionController: a live
