@@ -521,3 +521,151 @@ func BenchmarkSpeedupSurvey(b *testing.B) {
 	b.ReportMetric(last.Mean(), "speed-mean")
 	b.ReportMetric(last.Max(), "speed-max")
 }
+
+// ---------------------------------------------------------------------------
+// Write-ahead journal: admit hot path with journaling on/off, recovery
+// ---------------------------------------------------------------------------
+
+// benchJournalAdmit measures the admit+release cycle of benchAdmitSingle
+// under a journaling policy: off (in-memory), on (page-cache durability),
+// or on with fsync (power-loss durability). The delta between the modes is
+// the price of the durability guarantee on the hot path.
+func benchJournalAdmit(b *testing.B, journaled, fsync bool) {
+	cfg := DefaultAdmissionConfig()
+	cfg.SnapshotEvery = -1 // isolate append cost from snapshot cost
+	if journaled {
+		cfg.DataDir = b.TempDir()
+		cfg.Fsync = fsync
+	}
+	ctrl := NewAdmissionController(cfg)
+	defer ctrl.Close()
+	sys, err := ctrl.CreateSystem("bench", 8, EDFVD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := admitTasks(b, 256)
+	for _, t := range stream[:128] {
+		if _, err := sys.Admit(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := stream[128+i%128]
+		res, err := sys.Admit(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Admitted {
+			if _, err := sys.Release(task.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkJournalAdmitOff is the in-memory baseline of the journal pair.
+func BenchmarkJournalAdmitOff(b *testing.B) { benchJournalAdmit(b, false, false) }
+
+// BenchmarkJournalAdmitOn appends every committed transition to the
+// write-ahead journal without fsync (durability to the OS page cache).
+func BenchmarkJournalAdmitOn(b *testing.B) { benchJournalAdmit(b, true, false) }
+
+// BenchmarkJournalAdmitOnFsync additionally fsyncs per transition —
+// power-loss durability, dominated by the storage stack's flush latency.
+func BenchmarkJournalAdmitOnFsync(b *testing.B) { benchJournalAdmit(b, true, true) }
+
+// journalBenchTenant populates a journaled 64-core, 1024-task tenant and
+// returns its data dir. Light per-task utilization keeps every admit
+// accepted, so the journal holds exactly 1+1024 events.
+func journalBenchTenant(b *testing.B, snapshot bool) AdmissionConfig {
+	b.Helper()
+	cfg := DefaultAdmissionConfig()
+	cfg.DataDir = b.TempDir()
+	cfg.SnapshotEvery = -1
+	ctrl := NewAdmissionController(cfg)
+	sys, err := ctrl.CreateSystem("big", 64, EDFVD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		t := Ticks(1000 + i%7)
+		var task Task
+		if i%4 == 0 {
+			task = NewHCTask(i, 1, 2, t)
+		} else {
+			task = NewLCTask(i, 1, t)
+		}
+		res, err := sys.Admit(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Admitted {
+			b.Fatalf("bench tenant rejected task %d", i)
+		}
+	}
+	if snapshot {
+		if err := ctrl.SnapshotSystem("big"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ctrl.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}
+
+// BenchmarkJournalReplay1k measures full-log recovery of the 64-core,
+// 1024-task tenant: every admit re-runs the placement (and its analyses)
+// to verify the journaled decision.
+func BenchmarkJournalReplay1k(b *testing.B) {
+	cfg := journalBenchTenant(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl := NewAdmissionController(cfg)
+		rs, err := ctrl.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Tasks != 1024 {
+			b.Fatalf("recovered %d tasks", rs.Tasks)
+		}
+		ctrl.Close()
+	}
+}
+
+// BenchmarkJournalSnapshotRecover1k measures recovery of the same tenant
+// from a snapshot: the partition restores by direct commit, no analyses.
+// The gap to BenchmarkJournalReplay1k is what each snapshot buys.
+func BenchmarkJournalSnapshotRecover1k(b *testing.B) {
+	cfg := journalBenchTenant(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl := NewAdmissionController(cfg)
+		rs, err := ctrl.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Tasks != 1024 || rs.SnapshotsLoaded != 1 {
+			b.Fatalf("recovered %d tasks, %d snapshots", rs.Tasks, rs.SnapshotsLoaded)
+		}
+		ctrl.Close()
+	}
+}
+
+// BenchmarkJournalSnapshotWrite1k measures writing one snapshot of the
+// 64-core, 1024-task tenant (encode + fsync + rename + truncate).
+func BenchmarkJournalSnapshotWrite1k(b *testing.B) {
+	cfg := journalBenchTenant(b, false)
+	ctrl := NewAdmissionController(cfg)
+	if _, err := ctrl.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	defer ctrl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctrl.SnapshotSystem("big"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,7 +8,15 @@
 // (-workers goroutines per decision, default GOMAXPROCS, 1 = serial);
 // decisions are bit-identical to the serial scan either way.
 //
-//	mcschedd -addr :8080
+// With -data-dir the daemon is durable: every committed transition is
+// appended to a per-tenant write-ahead journal before it is applied, the
+// journal is periodically compacted into snapshots (-snapshot-every, and
+// POST /v1/systems/{id}/snapshot on demand), and a restart replays the
+// data directory so no admitted task is lost. -fsync trades admit latency
+// for power-loss durability. On SIGINT/SIGTERM the daemon drains in-flight
+// requests, writes a final snapshot per tenant, and exits.
+//
+//	mcschedd -addr :8080 -data-dir /var/lib/mcschedd
 //
 //	curl -s localhost:8080/v1/systems -d '{"processors":4,"test":"EDF-VD"}'
 //	curl -s localhost:8080/v1/systems/s1/admit \
@@ -16,19 +24,21 @@
 //	curl -s localhost:8080/v1/systems/s1/probe \
 //	     -d '{"task":{"id":2,"crit":"LO","period":12,"deadline":12,"c_lo":3,"c_hi":3}}'
 //	curl -s localhost:8080/v1/systems/s1/release -d '{"task_id":1}'
+//	curl -s -X POST localhost:8080/v1/systems/s1/snapshot
 //	curl -s localhost:8080/v1/systems/s1
 //	curl -s localhost:8080/v1/stats
 //
 // Endpoints:
 //
-//	POST   /v1/systems              create a tenant {id?, processors, test}
-//	GET    /v1/systems              list tenant IDs
-//	GET    /v1/systems/{id}         partition snapshot + per-core utilizations
-//	DELETE /v1/systems/{id}         drop a tenant
-//	POST   /v1/systems/{id}/admit   admit one task {"task":…} or a batch {"tasks":[…]}
-//	POST   /v1/systems/{id}/probe   same shapes, no commit
-//	POST   /v1/systems/{id}/release release {"task_id":…} or {"task_ids":[…]}
-//	GET    /v1/stats                controller counters (admits, cache hits, …)
+//	POST   /v1/systems                create a tenant {id?, processors, test}
+//	GET    /v1/systems                list tenant IDs
+//	GET    /v1/systems/{id}           partition snapshot + per-core utilizations
+//	DELETE /v1/systems/{id}           drop a tenant (and its journal)
+//	POST   /v1/systems/{id}/admit     admit one task {"task":…} or a batch {"tasks":[…]}
+//	POST   /v1/systems/{id}/probe     same shapes, no commit
+//	POST   /v1/systems/{id}/release   release {"task_id":…} or {"task_ids":[…]}
+//	POST   /v1/systems/{id}/snapshot  force a journal snapshot + truncation
+//	GET    /v1/stats                  controller counters (admits, cache hits, journal, …)
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"mcsched"
 	"mcsched/internal/admission"
 )
 
@@ -52,13 +63,36 @@ func main() {
 	cacheCap := flag.Int("cache", 4096, "verdict-cache capacity (0 = default, negative disables)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutines per decision for parallel candidate-core probing (1 = serial)")
+	dataDir := flag.String("data-dir", "",
+		"directory for per-tenant write-ahead journals; empty runs in-memory only")
+	fsync := flag.Bool("fsync", false,
+		"fsync the journal after every committed transition (requires -data-dir)")
+	snapshotEvery := flag.Int("snapshot-every", admission.DefaultSnapshotEvery,
+		"journaled events per tenant between automatic snapshots (negative disables; requires -data-dir)")
 	flag.Parse()
+
+	if *dataDir == "" && (*fsync || *snapshotEvery != admission.DefaultSnapshotEvery) {
+		log.Fatal("mcschedd: -fsync and -snapshot-every require -data-dir")
+	}
 
 	ctrl := admission.NewController(admission.Config{
 		Shards:        *shards,
 		CacheCapacity: *cacheCap,
 		Workers:       *workers,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		SnapshotEvery: *snapshotEvery,
+		Tests:         mcsched.TestByName,
 	})
+	if *dataDir != "" {
+		rs, err := ctrl.Recover()
+		if err != nil {
+			log.Fatalf("mcschedd: recover %s: %v", *dataDir, err)
+		}
+		log.Printf("mcschedd: recovered %d systems (%d tasks) from %s: %d snapshots loaded, %d events replayed",
+			rs.Systems, rs.Tasks, *dataDir, rs.SnapshotsLoaded, rs.Events)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServer(ctrl),
@@ -76,10 +110,23 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("mcschedd: %v", err)
 	case <-ctx.Done():
+		log.Printf("mcschedd: signal received, draining")
 	}
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush a final snapshot per tenant so the next boot replays (almost)
+	// nothing, and close the journals.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mcschedd: shutdown: %v", err)
+	}
+	if *dataDir != "" {
+		if err := ctrl.SnapshotAll(); err != nil {
+			log.Printf("mcschedd: final snapshot: %v", err)
+		}
+		if err := ctrl.Close(); err != nil {
+			log.Printf("mcschedd: close journals: %v", err)
+		}
+		log.Printf("mcschedd: journals flushed to %s", *dataDir)
 	}
 }

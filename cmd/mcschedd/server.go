@@ -29,6 +29,7 @@ func newServer(ctrl *admission.Controller) *server {
 	s.mux.HandleFunc("POST /v1/systems/{id}/admit", s.handleDecide(true))
 	s.mux.HandleFunc("POST /v1/systems/{id}/probe", s.handleDecide(false))
 	s.mux.HandleFunc("POST /v1/systems/{id}/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/systems/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -69,6 +70,11 @@ type releaseRequest struct {
 
 type releaseResponse struct {
 	Released int `json:"released"`
+}
+
+type snapshotResponse struct {
+	System  string                 `json:"system"`
+	Journal admission.JournalStats `json:"journal"`
 }
 
 type coreStatus struct {
@@ -256,6 +262,23 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	reply(w, http.StatusOK, releaseResponse{Released: released})
 }
 
+// handleSnapshot forces a journal snapshot of one tenant, truncating its
+// write-ahead log, and reports the tenant's journal counters.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.ctrl.SnapshotSystem(id); err != nil {
+		fail(w, statusOf(err), err)
+		return
+	}
+	sys, err := s.ctrl.System(id)
+	if err != nil {
+		fail(w, statusOf(err), err)
+		return
+	}
+	js, _ := sys.JournalStats()
+	reply(w, http.StatusOK, snapshotResponse{System: id, Journal: js})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	reply(w, http.StatusOK, s.ctrl.Stats())
 }
@@ -279,9 +302,14 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 // statusOf maps admission sentinel errors to HTTP statuses.
 func statusOf(err error) int {
 	switch {
+	case errors.Is(err, admission.ErrJournalIO):
+		// The request was valid; the durability layer failed. 503 so
+		// clients retry and operator alerting fires.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, admission.ErrNoSystem), errors.Is(err, admission.ErrUnknownTask):
 		return http.StatusNotFound
-	case errors.Is(err, admission.ErrDuplicateSystem), errors.Is(err, admission.ErrDuplicateTask):
+	case errors.Is(err, admission.ErrDuplicateSystem), errors.Is(err, admission.ErrDuplicateTask),
+		errors.Is(err, admission.ErrJournalDisabled), errors.Is(err, admission.ErrJournalExists):
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest

@@ -27,6 +27,15 @@
 // Concurrent identical analyses, whether from one parallel scan or from
 // independent tenants, are deduplicated single-flight through the verdict
 // cache: one goroutine runs the analysis, the rest wait for its verdict.
+//
+// With Config.DataDir the controller is event-sourced and durable: every
+// committed transition (create-system, admit, admit-batch, release) is
+// validated, appended to a per-tenant write-ahead journal
+// (internal/journal) as a typed versioned event, and only then applied.
+// Periodic snapshots truncate the journals; Recover rebuilds all tenants
+// after a restart by restoring the latest snapshot and replaying the
+// remaining events through the live placement path, verifying every
+// recorded decision and warming the verdict cache as it goes.
 package admission
 
 import (
@@ -39,6 +48,7 @@ import (
 
 	"mcsched/internal/analysis/parallel"
 	"mcsched/internal/core"
+	"mcsched/internal/journal"
 )
 
 // Config parameterizes a Controller.
@@ -59,6 +69,26 @@ type Config struct {
 	// or core counts are large, and costs goroutine overhead when they are
 	// cheap (EDF-VD).
 	Workers int
+
+	// DataDir turns on event-sourced durability: every committed state
+	// transition is appended to a per-tenant write-ahead journal under
+	// this directory before it is applied, and Recover reconstructs all
+	// tenants from it after a restart. Empty disables journaling.
+	DataDir string
+	// Fsync syncs the journal after every append. Off, durability is
+	// bounded by the OS flush interval; on, every acknowledged admit
+	// survives power loss at the cost of one fsync per decision.
+	Fsync bool
+	// SnapshotEvery is the automatic snapshot cadence: after this many
+	// journaled events a tenant snapshots its full state and truncates
+	// its log. 0 selects DefaultSnapshotEvery; negative disables
+	// automatic snapshots (manual SnapshotSystem still works).
+	SnapshotEvery int
+	// Tests resolves a schedulability-test name from a journal back to a
+	// live core.Test during recovery. Required when DataDir is set and
+	// Recover is used; the mcsched facade wires its TestByName in by
+	// default.
+	Tests func(name string) (core.Test, bool)
 }
 
 // DefaultConfig returns the production defaults. Probing stays serial by
@@ -102,7 +132,9 @@ type tenantShard struct {
 }
 
 // Controller owns the tenant systems, the shared verdict cache and the
-// shared probe engine.
+// shared probe engine. With Config.DataDir it also owns the per-tenant
+// write-ahead journals: mutations commit through them and Recover rebuilds
+// every tenant after a restart.
 type Controller struct {
 	cfg    Config
 	shards []tenantShard
@@ -110,6 +142,13 @@ type Controller struct {
 	engine *parallel.Engine // nil = serial candidate probing
 	stats  counters
 	nextID uint64
+
+	// snapFailures counts automatic snapshots that failed (the journaled
+	// event is durable regardless). recoverOnce gates Recover; recovery
+	// stores its result for Stats once Recover returns.
+	snapFailures atomic.Uint64
+	recoverOnce  atomic.Bool
+	recovery     RecoveryStats
 }
 
 // NewController returns an empty controller.
@@ -149,6 +188,9 @@ func (c *Controller) CreateSystem(id string, m int, test core.Test) (*System, er
 	if test == nil {
 		return nil, fmt.Errorf("admission: nil test")
 	}
+	if len(id) > MaxSystemID {
+		return nil, fmt.Errorf("admission: system ID longer than %d bytes", MaxSystemID)
+	}
 	if id != "" {
 		return c.insert(id, m, test)
 	}
@@ -170,6 +212,13 @@ func (c *Controller) insert(id string, m int, test core.Test) (*System, error) {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateSystem, id)
 	}
 	sys := newSystem(id, m, test, c.cache, &c.stats, proberOrNil(c.engine))
+	if c.cfg.journaling() {
+		// The create-system event is the journal's first record; a tenant
+		// that cannot journal is not created at all.
+		if err := c.attachNewJournal(sys, m); err != nil {
+			return nil, err
+		}
+	}
 	sh.m[id] = sys
 	return sys, nil
 }
@@ -186,15 +235,27 @@ func (c *Controller) System(id string) (*System, error) {
 	return sys, nil
 }
 
-// RemoveSystem drops a tenant and all its state.
+// RemoveSystem drops a tenant and all its state, including its journal
+// directory — removal is the one transition recorded by deletion rather
+// than by an event.
 func (c *Controller) RemoveSystem(id string) error {
 	sh := c.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.m[id]; !ok {
+	sys, ok := sh.m[id]
+	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoSystem, id)
 	}
 	delete(sh.m, id)
+	sh.mu.Unlock()
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if sys.log != nil {
+		sys.log.Close()
+		if err := journal.RemoveTenantDir(c.tenantDir(id)); err != nil {
+			return fmt.Errorf("admission: remove journal of %q: %w", id, err)
+		}
+	}
 	return nil
 }
 
@@ -238,6 +299,24 @@ func (c *Controller) Stats() Stats {
 	st.Systems = len(systems)
 	for _, sys := range systems {
 		st.Tasks += sys.NumTasks()
+	}
+	if c.cfg.journaling() {
+		st.Journal.Enabled = true
+		st.Journal.SnapshotFailures = c.snapFailures.Load()
+		st.Journal.RecoveredSystems = c.recovery.Systems
+		st.Journal.ReplayedEvents = c.recovery.Events
+		for _, sys := range systems {
+			js, ok := sys.JournalStats()
+			if !ok {
+				continue
+			}
+			st.Journal.Records += js.Records
+			st.Journal.Bytes += js.Bytes
+			st.Journal.Fsyncs += js.Fsyncs
+			st.Journal.Segments += js.Segments
+			st.Journal.Snapshots += js.Snapshots
+			st.Journal.TruncatedSegments += js.TruncatedSegments
+		}
 	}
 	return st
 }

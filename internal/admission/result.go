@@ -79,4 +79,39 @@ type Stats struct {
 	Dedups    uint64 `json:"dedups"`
 	// CacheSize is the current number of cached verdicts.
 	CacheSize int `json:"cache_size"`
+	// Journal aggregates the per-tenant write-ahead-journal counters;
+	// zero-valued (Enabled false) when the controller runs without a data
+	// directory.
+	Journal JournalStats `json:"journal"`
+}
+
+// JournalStats reports write-ahead-journal activity — aggregated across
+// all tenants in Stats, or for one tenant from System.JournalStats.
+// Counters cover the life of this process; SnapshotSeq and NextSeq are
+// per-tenant gauges and are only set in the per-tenant form.
+type JournalStats struct {
+	// Enabled reports whether journaling is on.
+	Enabled bool `json:"enabled"`
+	// Records and Bytes count appended events and their framed bytes.
+	Records uint64 `json:"records"`
+	Bytes   uint64 `json:"bytes"`
+	// Fsyncs counts synchronous flushes (appends under -fsync, snapshot
+	// writes, directory syncs).
+	Fsyncs uint64 `json:"fsyncs"`
+	// Segments is the current number of on-disk log segments.
+	Segments uint64 `json:"segments"`
+	// Snapshots counts snapshots written; SnapshotFailures counts
+	// automatic snapshots that failed (their events stayed durable).
+	Snapshots        uint64 `json:"snapshots"`
+	SnapshotFailures uint64 `json:"snapshot_failures,omitempty"`
+	// TruncatedSegments counts segments deleted by snapshot truncation.
+	TruncatedSegments uint64 `json:"truncated_segments,omitempty"`
+	// SnapshotSeq and NextSeq are the tenant's latest-snapshot sequence
+	// and next append position (per-tenant form only).
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	NextSeq     uint64 `json:"next_seq,omitempty"`
+	// RecoveredSystems and ReplayedEvents summarize the boot-time
+	// recovery pass (aggregate form only).
+	RecoveredSystems int `json:"recovered_systems,omitempty"`
+	ReplayedEvents   int `json:"replayed_events,omitempty"`
 }

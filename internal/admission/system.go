@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"mcsched/internal/core"
+	"mcsched/internal/journal"
 	"mcsched/internal/mcs"
 )
 
@@ -13,6 +14,14 @@ import (
 // gated by a single uniprocessor schedulability test. All mutating and
 // reading methods are safe for concurrent use; a per-system mutex
 // serializes them, so independent tenants never contend.
+//
+// State transitions are event-sourced: a mutation is first decided against
+// the in-memory partitions, then (when the controller journals) appended
+// to the tenant's write-ahead log as a typed event, and only then applied.
+// The journal append is the commit point — an acknowledged transition is
+// replayable, and a crash between append and apply is indistinguishable
+// from a crash just after apply because replay reproduces the same
+// placement.
 type System struct {
 	id string
 
@@ -20,6 +29,23 @@ type System struct {
 	asn      *core.Assigner
 	ct       *cachedTest
 	resident map[int]bool // task IDs currently placed
+	// admits and releases are the tenant's lifetime committed-transition
+	// counters. They shadow the controller-wide counters so snapshots can
+	// persist them per tenant, making recovered stats identical to a
+	// controller that never restarted. Guarded by mu.
+	admits, releases uint64
+
+	// log is the tenant's write-ahead journal; nil when the controller
+	// runs without a data directory. sinceSnap counts appended events
+	// since the last snapshot; at snapEvery the system snapshots itself
+	// and truncates the log. All three are guarded by mu.
+	log       *journal.Log
+	snapEvery int
+	sinceSnap int
+	// snapFailures points at the controller-wide counter of failed
+	// automatic snapshots (the event itself is already durable, so a
+	// failed snapshot is reported, not fatal).
+	snapFailures *atomic.Uint64
 }
 
 // cachedTest adapts a core.Test with the controller's shared verdict cache
@@ -130,26 +156,29 @@ func (s *System) validateIncoming(t mcs.Task) error {
 	return nil
 }
 
-// place runs the UDP online placement for one task: cores are tried
-// worst-fit by utilization difference for HC tasks, first-fit for LC tasks,
-// and only the candidate core's task set is re-analyzed. The candidate
-// probes go through the assigner's prober, so with a parallel engine
-// configured they fan out across worker goroutines — the chosen core is
-// identical to a serial scan either way. commit=false is a probe. Caller
-// holds s.mu.
-func (s *System) place(t mcs.Task, commit bool) AdmitResult {
-	res := AdmitResult{TaskID: t.ID, Core: -1, Probed: !commit}
+// place runs the UDP online placement decision for one task without
+// committing anything: cores are tried worst-fit by utilization difference
+// for HC tasks, first-fit for LC tasks, and only the candidate core's task
+// set is re-analyzed. The candidate probes go through the assigner's
+// prober, so with a parallel engine configured they fan out across worker
+// goroutines — the chosen core is identical to a serial scan either way.
+// Caller holds s.mu.
+func (s *System) place(t mcs.Task) AdmitResult {
+	res := AdmitResult{TaskID: t.ID, Core: -1}
 	if k := s.asn.FirstFitting(t, s.asn.PlacementOrder(t)); k >= 0 {
 		res.Admitted = true
 		res.Core = k
-		if commit {
-			s.asn.Commit(t, k)
-			s.resident[t.ID] = true
-		}
 		return res
 	}
 	res.Reason = fmt.Sprintf("task %d fits on no core under %s", t.ID, s.ct.Name())
 	return res
+}
+
+// commitPlaced applies a placement that place just decided (no state
+// mutated in between, which holding s.mu guarantees). Caller holds s.mu.
+func (s *System) commitPlaced(t mcs.Task, k int) {
+	s.asn.Commit(t, k)
+	s.resident[t.ID] = true
 }
 
 // Admit places one task, committing it on success.
@@ -169,7 +198,18 @@ func (s *System) decide(t mcs.Task, commit bool) (AdmitResult, error) {
 		return AdmitResult{TaskID: t.ID, Core: -1, Probed: !commit}, err
 	}
 	s.ct.resetTally()
-	res := s.place(t, commit)
+	res := s.place(t)
+	res.Probed = !commit
+	if commit && res.Admitted {
+		// Commit point: journal first, apply second. A failed append
+		// leaves the partitions untouched — the admit never happened.
+		if err := s.journalAdmit(t, res.Core); err != nil {
+			return AdmitResult{TaskID: t.ID, Core: -1}, err
+		}
+		s.commitPlaced(t, res.Core)
+		s.admits++
+		s.maybeSnapshotLocked()
+	}
 	res.Tests, res.CacheHits, res.Shared = s.ct.readTally()
 	switch {
 	case !commit:
@@ -222,7 +262,10 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 		// Batch placement always commits tentatively so later tasks see
 		// earlier ones; a probe (or a misfit) rolls the placements back.
 		beforeTests, beforeHits, beforeShared := s.ct.readTally()
-		res := s.place(t, true)
+		res := s.place(t)
+		if res.Admitted {
+			s.commitPlaced(t, res.Core)
+		}
 		afterTests, afterHits, afterShared := s.ct.readTally()
 		res.Tests = afterTests - beforeTests
 		res.CacheHits = afterHits - beforeHits
@@ -233,6 +276,20 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 			break
 		}
 		placed = append(placed, t.ID)
+	}
+	if out.Admitted && commit {
+		// Commit point: the whole batch becomes one journal record, so a
+		// crash replays either all of it or none of it. A failed append
+		// rolls the tentative placements back — the batch never happened.
+		if err := s.journalBatch(ordered, out.Results); err != nil {
+			for _, id := range placed {
+				s.asn.Remove(id)
+				delete(s.resident, id)
+			}
+			return BatchResult{}, err
+		}
+		s.admits += uint64(len(out.Results))
+		s.maybeSnapshotLocked()
 	}
 	if !out.Admitted || !commit {
 		for _, id := range placed {
@@ -278,10 +335,16 @@ func (s *System) Release(ids ...int) (int, error) {
 			unique = append(unique, id)
 		}
 	}
+	// Commit point: journal the release, then apply it.
+	if err := s.journalRelease(unique); err != nil {
+		return 0, err
+	}
 	for _, id := range unique {
 		s.asn.Remove(id)
 		delete(s.resident, id)
+		s.releases++
 		atomic.AddUint64(&s.ct.stats.releases, 1)
 	}
+	s.maybeSnapshotLocked()
 	return len(unique), nil
 }

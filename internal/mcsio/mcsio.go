@@ -186,6 +186,12 @@ func ReadPartition(r io.Reader) (core.Partition, error) {
 	if doc.Version != 0 && doc.Version != FormatVersion {
 		return core.Partition{}, fmt.Errorf("mcsio: unsupported version %d (supported: %d)", doc.Version, FormatVersion)
 	}
+	return partitionFromJSON(doc)
+}
+
+// partitionFromJSON converts and validates a wire partition — the shared
+// decoding path of ReadPartition and DecodeSnapshot.
+func partitionFromJSON(doc PartitionJSON) (core.Partition, error) {
 	byID := make(map[int]mcs.Task, len(doc.Tasks))
 	for _, j := range doc.Tasks {
 		t, err := toTask(j)

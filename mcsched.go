@@ -239,9 +239,11 @@ func TestByName(name string) (Test, bool) {
 type AdmissionController = admission.Controller
 
 // AdmissionConfig parameterizes an AdmissionController: tenant-map stripes,
-// verdict-cache capacity, and the number of workers candidate-core probes
-// fan out across per decision (Workers > 1 turns on the batch-parallel
-// analysis engine; decisions stay bit-identical to the serial scan).
+// verdict-cache capacity, the number of workers candidate-core probes fan
+// out across per decision (Workers > 1 turns on the batch-parallel
+// analysis engine; decisions stay bit-identical to the serial scan), and
+// the journaling policy (DataDir, Fsync, SnapshotEvery) for event-sourced
+// durability.
 type AdmissionConfig = admission.Config
 
 // AdmissionSystem is one tenant of an AdmissionController: a live
@@ -254,8 +256,19 @@ type AdmitResult = admission.AdmitResult
 // BatchAdmitResult is the verdict of an all-or-nothing batch decision.
 type BatchAdmitResult = admission.BatchResult
 
-// AdmissionStats is a snapshot of an AdmissionController's counters.
+// AdmissionStats is a snapshot of an AdmissionController's counters,
+// including the aggregated journal counters when journaling is on.
 type AdmissionStats = admission.Stats
+
+// AdmissionJournalStats reports write-ahead-journal activity: appended
+// records and bytes, fsyncs, segments, snapshots and truncations —
+// aggregated in AdmissionStats.Journal, per tenant from
+// AdmissionSystem.JournalStats.
+type AdmissionJournalStats = admission.JournalStats
+
+// AdmissionRecoveryStats summarizes one recovery pass: tenants rebuilt,
+// snapshots loaded, events replayed and tasks resident afterwards.
+type AdmissionRecoveryStats = admission.RecoveryStats
 
 // Admission-control sentinel errors.
 var (
@@ -263,16 +276,49 @@ var (
 	ErrDuplicateSystem = admission.ErrDuplicateSystem
 	ErrDuplicateTask   = admission.ErrDuplicateTask
 	ErrUnknownTask     = admission.ErrUnknownTask
+	// ErrJournalDisabled rejects snapshot operations on a controller
+	// running without a data directory.
+	ErrJournalDisabled = admission.ErrJournalDisabled
+	// ErrJournalExists rejects creating a tenant whose journal is already
+	// on disk; Recover it instead of overwriting history.
+	ErrJournalExists = admission.ErrJournalExists
+	// ErrReplayDivergence marks a journal whose replay does not reproduce
+	// its recorded decisions; recovery fails closed.
+	ErrReplayDivergence = admission.ErrReplayDivergence
+	// ErrJournalIO wraps journal append/snapshot failures (disk full, I/O
+	// error, closed log); the transition it guarded did not happen.
+	ErrJournalIO = admission.ErrJournalIO
 )
 
 // NewAdmissionController returns an empty controller with the given
-// configuration; the zero Config selects production defaults.
+// configuration; the zero Config selects production defaults. When
+// journaling is configured (Config.DataDir) the package's TestByName is
+// installed as the recovery test resolver unless the caller supplies one.
 func NewAdmissionController(cfg AdmissionConfig) *AdmissionController {
+	if cfg.Tests == nil {
+		cfg.Tests = TestByName
+	}
 	return admission.NewController(cfg)
 }
 
+// RecoverAdmissionController builds a journaled controller over
+// cfg.DataDir and replays every tenant found there: snapshots restore
+// partitions directly and the remaining events re-run the placement path,
+// with every recorded decision verified bit-for-bit. The returned
+// controller is live and continues journaling; call its SnapshotAll and
+// Close on shutdown.
+func RecoverAdmissionController(cfg AdmissionConfig) (*AdmissionController, AdmissionRecoveryStats, error) {
+	ctrl := NewAdmissionController(cfg)
+	rs, err := ctrl.Recover()
+	if err != nil {
+		ctrl.Close()
+		return nil, rs, err
+	}
+	return ctrl, rs, nil
+}
+
 // DefaultAdmissionConfig returns the production defaults (16 stripes, 4096
-// cached verdicts).
+// cached verdicts, journaling off).
 func DefaultAdmissionConfig() AdmissionConfig { return admission.DefaultConfig() }
 
 // ---------------------------------------------------------------------------
