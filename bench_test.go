@@ -35,6 +35,7 @@ func reportWARs(b *testing.B, res ExperimentResult) {
 
 func benchFigure(b *testing.B, runner func(m, sets int, seed int64) (ExperimentResult, error), m int) {
 	b.Helper()
+	b.ReportAllocs()
 	var last ExperimentResult
 	for i := 0; i < b.N; i++ {
 		res, err := runner(m, benchSets, 2017)
@@ -72,6 +73,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6a regenerates Fig. 6a (WAR versus PH, implicit deadlines,
 // EDF-VD, m ∈ {2,4}).
 func BenchmarkFig6a(b *testing.B) {
+	b.ReportAllocs()
 	var last WARResult
 	for i := 0; i < b.N; i++ {
 		res, err := Figure6a(benchSets, 2017)
@@ -98,6 +100,7 @@ func reportMidWARs(b *testing.B, res WARResult) {
 // BenchmarkFig6b regenerates Fig. 6b (WAR versus PH, constrained deadlines,
 // AMC and ECDF, m ∈ {2,4}).
 func BenchmarkFig6b(b *testing.B) {
+	b.ReportAllocs()
 	var last WARResult
 	for i := 0; i < b.N; i++ {
 		res, err := Figure6b(benchSets, 2017)
@@ -118,6 +121,7 @@ func BenchmarkFig6b(b *testing.B) {
 // variants directly.
 func ablationSweep(b *testing.B, m int, algos []Algorithm) {
 	b.Helper()
+	b.ReportAllocs()
 	var last ExperimentResult
 	for i := 0; i < b.N; i++ {
 		res, err := RunExperiment(ExperimentConfig{
@@ -163,6 +167,7 @@ func BenchmarkAblationOrdering(b *testing.B) {
 		{Strategy: CAUDP(), Test: t},
 		{Strategy: CUUDP(), Test: t},
 	}
+	b.ReportAllocs()
 	var last ExperimentResult
 	for i := 0; i < b.N; i++ {
 		res, err := RunExperiment(ExperimentConfig{
@@ -231,6 +236,7 @@ func benchSet(b *testing.B, m int, constrained bool) TaskSet {
 func BenchmarkTestEDFVD(b *testing.B) {
 	ts := benchSet(b, 1, false)
 	t := EDFVD()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Schedulable(ts)
@@ -242,6 +248,7 @@ func BenchmarkTestEDFVD(b *testing.B) {
 func BenchmarkTestECDF(b *testing.B) {
 	ts := benchSet(b, 1, true)
 	t := ECDF()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Schedulable(ts)
@@ -252,6 +259,7 @@ func BenchmarkTestECDF(b *testing.B) {
 func BenchmarkTestEY(b *testing.B) {
 	ts := benchSet(b, 1, true)
 	t := EY()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Schedulable(ts)
@@ -262,6 +270,7 @@ func BenchmarkTestEY(b *testing.B) {
 func BenchmarkTestAMC(b *testing.B) {
 	ts := benchSet(b, 1, true)
 	t := AMC()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Schedulable(ts)
@@ -274,6 +283,7 @@ func BenchmarkPartition(b *testing.B) {
 	ts := benchSet(b, 8, false)
 	for _, s := range Strategies() {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, _ = s.Partition(ts, 8, EDFVD())
 			}
@@ -290,6 +300,7 @@ func BenchmarkSimulateCore(b *testing.B) {
 		Policy:   PolicyVirtualDeadlineEDF,
 		Scenario: ScenarioRandom(5, 0.2, 0.5),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		SimulateCore(ts, cfg)
@@ -301,6 +312,7 @@ func BenchmarkSimulateCore(b *testing.B) {
 func BenchmarkGenerate(b *testing.B) {
 	rng := rand.New(rand.NewSource(77))
 	cfg := DefaultGenConfig(8, 0.5, 0.3, 0.3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Generate(rng, cfg); err != nil {
@@ -372,6 +384,7 @@ func benchAdmitSingle(b *testing.B, warm bool) {
 			cycle(task)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cycle(stream[128+i%128])
@@ -399,6 +412,7 @@ func BenchmarkAdmitBatch64(b *testing.B) {
 	for i, t := range batch {
 		ids[i] = t.ID
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sys.AdmitBatch(batch)
@@ -433,6 +447,7 @@ func benchAdmitBatch64Analysis(b *testing.B, test Test, workers int) {
 	for i, t := range batch {
 		ids[i] = t.ID
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sys.AdmitBatch(batch)
@@ -467,6 +482,7 @@ func BenchmarkAdmitBatch64Parallel(b *testing.B) {
 // shape) with the given task-set parallelism.
 func benchSweep(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := RunExperiment(ExperimentConfig{
 			M: 4, PH: 0.5, SetsPerUB: benchSets, Seed: 2017,
@@ -493,11 +509,13 @@ func BenchmarkPartitionParallelAMC(b *testing.B) {
 	ts := benchSet(b, 8, true)
 	test := AMC()
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = CUUDP().Partition(ts, 8, test)
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		s := Parallelize(CUUDP(), 0)
 		for i := 0; i < b.N; i++ {
 			_, _ = s.Partition(ts, 8, test)
@@ -510,6 +528,7 @@ func BenchmarkPartitionParallelAMC(b *testing.B) {
 // speeds for CU-UDP-EDF-VD.
 func BenchmarkSpeedupSurvey(b *testing.B) {
 	algo := Algorithm{Strategy: CUUDP(), Test: EDFVD()}
+	b.ReportAllocs()
 	var last SpeedupSurvey
 	for i := 0; i < b.N; i++ {
 		s, err := RunSpeedupSurvey(algo, 4, 40, 1.0, 11)
@@ -549,6 +568,7 @@ func benchJournalAdmit(b *testing.B, journaled, fsync bool) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		task := stream[128+i%128]
@@ -620,6 +640,7 @@ func journalBenchTenant(b *testing.B, snapshot bool) AdmissionConfig {
 // to verify the journaled decision.
 func BenchmarkJournalReplay1k(b *testing.B) {
 	cfg := journalBenchTenant(b, false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl := NewAdmissionController(cfg)
@@ -639,6 +660,7 @@ func BenchmarkJournalReplay1k(b *testing.B) {
 // The gap to BenchmarkJournalReplay1k is what each snapshot buys.
 func BenchmarkJournalSnapshotRecover1k(b *testing.B) {
 	cfg := journalBenchTenant(b, true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl := NewAdmissionController(cfg)
@@ -662,6 +684,7 @@ func BenchmarkJournalSnapshotWrite1k(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer ctrl.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ctrl.SnapshotSystem("big"); err != nil {

@@ -1,0 +1,378 @@
+// Command mcbench runs the repository's tracked performance benchmarks —
+// the admission hot path (single admits warm/cold, 64-task batches), probe
+// traffic and the offline partitioning strategies — and writes the results
+// as JSON: ns/op, bytes/op, allocs/op per benchmark plus the analyzer
+// fast-path counters (fast accepts/rejects, incremental decisions,
+// warm-started fixed points) and verdict-cache hit rates observed while the
+// benchmark ran.
+//
+//	mcbench -short -out BENCH_4.json
+//	mcbench -baseline BENCH_4.json -max-regress 2
+//
+// With -baseline the run compares itself against a previously written file
+// and exits non-zero when any benchmark regresses by more than -max-regress
+// in ns/op — the CI bench-smoke job runs exactly that against the committed
+// baseline, so hot-path regressions fail the build instead of landing
+// silently. Each result also carries the PR 3 (pre-analyzer, commit
+// 2a5a637) reference numbers measured on the original development machine,
+// making the speedup of the allocation-free incremental analysis layer part
+// of the tracked artifact; on other machines those speedups are indicative,
+// while the -baseline gate compares like with like.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcsched"
+)
+
+// reference holds the PR 3 hot-path numbers (commit 2a5a637, `go test
+// -bench -benchmem -benchtime 2s`, Intel Xeon @ 2.10GHz) keyed by the
+// mcbench benchmark that measures the same workload today.
+var reference = map[string]Reference{
+	"admit/single/cold":        {NsPerOp: 5109, AllocsPerOp: 12},
+	"admit/single/warm":        {NsPerOp: 17049, AllocsPerOp: 12},
+	"admit/batch64/edfvd":      {NsPerOp: 237756, AllocsPerOp: 444},
+	"admit/batch64/edfvd-cold": {NsPerOp: 136989, AllocsPerOp: 444},
+	"admit/batch64/amc-cold":   {NsPerOp: 750552, AllocsPerOp: 2276},
+	"partition/cuudp-amc":      {NsPerOp: 25965, AllocsPerOp: 322},
+}
+
+// Reference is a PR 3 baseline data point.
+type Reference struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Counters mirrors the admission controller's analyzer and cache counters
+// accumulated over one benchmark run.
+type Counters struct {
+	TestsRun        uint64 `json:"tests_run"`
+	CacheHits       uint64 `json:"cache_hits"`
+	FastAccepts     uint64 `json:"fast_accepts"`
+	FastRejects     uint64 `json:"fast_rejects"`
+	IncrementalHits uint64 `json:"incremental_hits"`
+	ExactRuns       uint64 `json:"exact_runs"`
+	WarmStarts      uint64 `json:"warm_starts"`
+}
+
+// Result is one benchmark's record.
+type Result struct {
+	Name         string     `json:"name"`
+	Iterations   int        `json:"iterations"`
+	NsPerOp      float64    `json:"ns_per_op"`
+	BytesPerOp   int64      `json:"bytes_per_op"`
+	AllocsPerOp  int64      `json:"allocs_per_op"`
+	Counters     *Counters  `json:"counters,omitempty"`
+	ReferencePR3 *Reference `json:"reference_pr3,omitempty"`
+	SpeedupVsPR3 float64    `json:"speedup_vs_pr3,omitempty"`
+}
+
+// File is the BENCH_4.json schema.
+type File struct {
+	Schema     string   `json:"schema"`
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Short      bool     `json:"short"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so test.benchtime is settable
+	short := flag.Bool("short", false, "reduced benchtime for smoke runs")
+	out := flag.String("out", "", "write results JSON to this file (default stdout)")
+	baseline := flag.String("baseline", "", "compare against this results file and fail on regressions")
+	maxRegress := flag.Float64("max-regress", 2.0, "maximum allowed ns/op ratio versus -baseline")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 1.5,
+		"maximum allowed allocs/op ratio versus -baseline (allocs are machine-independent; 0 disables)")
+	flag.Parse()
+
+	benchtime := time.Second
+	if *short {
+		benchtime = 200 * time.Millisecond
+	}
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fatal("set benchtime: %v", err)
+	}
+
+	f := File{
+		Schema:     "mcsched-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Short:      *short,
+	}
+	for _, b := range benches() {
+		res := runOne(b)
+		if ref, ok := reference[b.name]; ok {
+			r := ref
+			res.ReferencePR3 = &r
+			if res.NsPerOp > 0 {
+				res.SpeedupVsPR3 = round2(ref.NsPerOp / res.NsPerOp)
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			b.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+
+	if *baseline != "" {
+		if failed := compare(f, *baseline, *maxRegress, *maxAllocRegress); failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// compare checks the run against a baseline file; true means regression.
+// ns/op is gated by maxRegress (loose: absorbs machine variance while
+// catching order-of-magnitude mistakes); allocs/op is gated by
+// maxAllocRegress, which is machine-independent and therefore tight.
+func compare(f File, path string, maxRegress, maxAllocRegress float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal("baseline: %v", err)
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("baseline %s: %v", path, err)
+	}
+	byName := map[string]Result{}
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	failed := false
+	for _, r := range f.Benchmarks {
+		b, ok := byName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: no baseline, skipping\n", r.Name)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		if ratio > maxRegress {
+			fmt.Fprintf(os.Stderr, "mcbench: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx)\n",
+				r.Name, r.NsPerOp, b.NsPerOp, ratio, maxRegress)
+			failed = true
+		}
+		if maxAllocRegress > 0 {
+			// A zero-alloc baseline allows a slack of 1 alloc/op before
+			// failing (ratios are undefined at zero).
+			limit := float64(b.AllocsPerOp) * maxAllocRegress
+			if b.AllocsPerOp == 0 {
+				limit = 1
+			}
+			if float64(r.AllocsPerOp) > limit {
+				fmt.Fprintf(os.Stderr, "mcbench: ALLOC REGRESSION %s: %d allocs/op vs baseline %d (limit %.1f)\n",
+					r.Name, r.AllocsPerOp, b.AllocsPerOp, limit)
+				failed = true
+			}
+		}
+	}
+	return failed
+}
+
+type bench struct {
+	name string
+	// run executes the workload b.N times; stats, when non-nil, is called
+	// once after timing to collect controller counters.
+	run func(b *testing.B, c *Counters)
+}
+
+func runOne(bm bench) Result {
+	var c Counters
+	r := testing.Benchmark(func(b *testing.B) {
+		// testing.Benchmark probes with growing b.N until the benchtime is
+		// filled; only the final (longest) run's counters survive.
+		c = Counters{}
+		bm.run(b, &c)
+	})
+	res := Result{
+		Name:        bm.name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if c != (Counters{}) {
+		cc := c
+		res.Counters = &cc
+	}
+	return res
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// ---------------------------------------------------------------------------
+// Workloads (mirroring bench_test.go on the public facade)
+// ---------------------------------------------------------------------------
+
+// admitTasks draws the same deterministic task stream as the in-repo admit
+// benchmarks.
+func admitTasks(n int) mcsched.TaskSet {
+	rng := rand.New(rand.NewSource(2024))
+	out := make(mcsched.TaskSet, 0, n)
+	for i := 0; i < n; i++ {
+		t := mcsched.Ticks(10 + rng.Intn(490))
+		cl := 1 + mcsched.Ticks(rng.Intn(int(t/10+1)))
+		if rng.Intn(2) == 0 {
+			ch := cl + mcsched.Ticks(rng.Intn(int(t/5+1)))
+			if ch > t {
+				ch = t
+			}
+			out = append(out, mcsched.NewHCTask(i, cl, ch, t))
+		} else {
+			out = append(out, mcsched.NewLCTask(i, cl, t))
+		}
+	}
+	return out
+}
+
+func collect(ctrl *mcsched.AdmissionController, c *Counters) {
+	st := ctrl.Stats()
+	c.TestsRun = st.TestsRun
+	c.CacheHits = st.CacheHits
+	c.FastAccepts = st.FastAccepts
+	c.FastRejects = st.FastRejects
+	c.IncrementalHits = st.IncrementalHits
+	c.ExactRuns = st.ExactRuns
+	c.WarmStarts = st.WarmStarts
+}
+
+// admitSingle is one admit(+release) cycle against a loaded 8-core tenant.
+func admitSingle(warm bool, probeOnly bool) func(*testing.B, *Counters) {
+	return func(b *testing.B, c *Counters) {
+		cfg := mcsched.DefaultAdmissionConfig()
+		if !warm {
+			cfg.CacheCapacity = -1
+		}
+		ctrl := mcsched.NewAdmissionController(cfg)
+		sys, err := ctrl.CreateSystem("bench", 8, mcsched.EDFVD())
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream := admitTasks(256)
+		for _, t := range stream[:128] {
+			if _, err := sys.Admit(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cycle := func(task mcsched.Task) {
+			if probeOnly {
+				if _, err := sys.Probe(task); err != nil {
+					b.Fatal(err)
+				}
+				return
+			}
+			res, err := sys.Admit(task)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Admitted {
+				if _, err := sys.Release(task.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if warm {
+			for _, task := range stream[128:] {
+				cycle(task)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle(stream[128+i%128])
+		}
+		b.StopTimer()
+		collect(ctrl, c)
+	}
+}
+
+// admitBatch64 is the all-or-nothing 64-task batch admit (+ release).
+func admitBatch64(test mcsched.Test, cached bool) func(*testing.B, *Counters) {
+	return func(b *testing.B, c *Counters) {
+		cfg := mcsched.DefaultAdmissionConfig()
+		if !cached {
+			cfg.CacheCapacity = -1
+		}
+		ctrl := mcsched.NewAdmissionController(cfg)
+		sys, err := ctrl.CreateSystem("bench", 8, test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := admitTasks(64)
+		ids := make([]int, len(batch))
+		for i, t := range batch {
+			ids[i] = t.ID
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sys.AdmitBatch(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Admitted {
+				if _, err := sys.Release(ids...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		collect(ctrl, c)
+	}
+}
+
+// partition is one full offline partitioning run on an 8-core load.
+func partition(strategy mcsched.Strategy, test mcsched.Test) func(*testing.B, *Counters) {
+	return func(b *testing.B, _ *Counters) {
+		rng := rand.New(rand.NewSource(1234))
+		cfg := mcsched.DefaultGenConfig(8, 0.5, 0.3, 0.3)
+		cfg.Constrained = test.Name() != "EDF-VD"
+		ts, err := mcsched.Generate(rng, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = strategy.Partition(ts, 8, test)
+		}
+	}
+}
+
+func benches() []bench {
+	return []bench{
+		{"admit/single/cold", admitSingle(false, false)},
+		{"admit/single/warm", admitSingle(true, false)},
+		{"probe/single/warm", admitSingle(true, true)},
+		{"admit/batch64/edfvd", admitBatch64(mcsched.EDFVD(), true)},
+		{"admit/batch64/edfvd-cold", admitBatch64(mcsched.EDFVD(), false)},
+		{"admit/batch64/amc-cold", admitBatch64(mcsched.AMC(), false)},
+		{"partition/cuudp-amc", partition(mcsched.CUUDP(), mcsched.AMC())},
+		{"partition/cuudp-edfvd", partition(mcsched.CUUDP(), mcsched.EDFVD())},
+	}
+}

@@ -16,6 +16,13 @@
 // for power-loss durability. On SIGINT/SIGTERM the daemon drains in-flight
 // requests, writes a final snapshot per tenant, and exits.
 //
+// With -pprof <addr> the daemon additionally serves net/http/pprof on a
+// separate listener (opt-in, own port, never on the service address), so
+// operators can profile the admit hot path in production:
+//
+//	mcschedd -addr :8080 -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
 //	mcschedd -addr :8080 -data-dir /var/lib/mcschedd
 //
 //	curl -s localhost:8080/v1/systems -d '{"processors":4,"test":"EDF-VD"}'
@@ -47,6 +54,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -69,6 +77,8 @@ func main() {
 		"fsync the journal after every committed transition (requires -data-dir)")
 	snapshotEvery := flag.Int("snapshot-every", admission.DefaultSnapshotEvery,
 		"journaled events per tenant between automatic snapshots (negative disables; requires -data-dir)")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 
 	if *dataDir == "" && (*fsync || *snapshotEvery != admission.DefaultSnapshotEvery) {
@@ -91,6 +101,26 @@ func main() {
 		}
 		log.Printf("mcschedd: recovered %d systems (%d tasks) from %s: %d snapshots loaded, %d events replayed",
 			rs.Systems, rs.Tasks, *dataDir, rs.SnapshotsLoaded, rs.Events)
+	}
+
+	if *pprofAddr != "" {
+		// Profiling gets its own listener and mux: the debug endpoints never
+		// share a port with the service API, so an operator can firewall
+		// them independently and a profile dump cannot be reached through
+		// the public address.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("mcschedd: pprof listening on %s", *pprofAddr)
+			srv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				log.Printf("mcschedd: pprof: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{

@@ -299,6 +299,12 @@ func (c *Controller) Stats() Stats {
 	st.Systems = len(systems)
 	for _, sys := range systems {
 		st.Tasks += sys.NumTasks()
+		kc := sys.AnalyzerCounters()
+		st.FastAccepts += kc.FastAccepts
+		st.FastRejects += kc.FastRejects
+		st.IncrementalHits += kc.IncrementalHits
+		st.ExactRuns += kc.ExactRuns
+		st.WarmStarts += kc.WarmStarts
 	}
 	if c.cfg.journaling() {
 		st.Journal.Enabled = true

@@ -2,7 +2,6 @@ package admission
 
 import (
 	"container/list"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"sync"
@@ -23,25 +22,31 @@ type setKey struct {
 	n        int
 }
 
+// mix64 chains v into h through the splitmix64 finalizer: full avalanche at
+// a handful of multiplications per field. Inline arithmetic (instead of a
+// heap-allocated hash.Hash64) keeps the probe hot path allocation-free, and
+// the chaining makes the digest position-dependent across fields.
+func mix64(h, v uint64) uint64 {
+	x := h ^ v
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // taskHash fingerprints one task's timing parameters under the given seed.
 func taskHash(seed uint64, t mcs.Task) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	put(seed)
-	put(uint64(t.Crit))
-	put(uint64(t.Period))
-	put(uint64(t.Deadline))
-	put(uint64(t.CLo()))
-	put(uint64(t.CHi()))
-	put(math.Float64bits(t.ULo))
-	put(math.Float64bits(t.UHi))
-	return h.Sum64()
+	h := mix64(0x9e3779b97f4a7c15, seed)
+	h = mix64(h, uint64(t.Crit))
+	h = mix64(h, uint64(t.Period))
+	h = mix64(h, uint64(t.Deadline))
+	h = mix64(h, uint64(t.CLo()))
+	h = mix64(h, uint64(t.CHi()))
+	h = mix64(h, math.Float64bits(t.ULo))
+	h = mix64(h, math.Float64bits(t.UHi))
+	return h
 }
 
 // keyOf folds the seeded task hashes of ts into a multiset key.
@@ -176,6 +181,23 @@ const (
 // publishes the verdict to the cache and to every waiter. The returned
 // outcome is one of flightRan, flightHit, flightShared.
 func (c *verdictCache) do(k cacheKey, compute func() bool) (bool, int) {
+	return c.doTask(k, nil, func(mcs.TaskSet) bool { return compute() })
+}
+
+// doTask is do with the compute callback taking the analyzed task set as an
+// argument, so callers pass a pre-bound function instead of allocating a
+// fresh closure per probe. ts is only handed to compute; a cache hit never
+// touches it.
+func (c *verdictCache) doTask(k cacheKey, ts mcs.TaskSet, compute func(mcs.TaskSet) bool) (bool, int) {
+	return c.doBuild(k, func() mcs.TaskSet { return ts }, compute)
+}
+
+// doBuild is the single-flight core with a lazily materialized task set:
+// build() is invoked only when this call becomes the flight leader — a
+// cache hit or a shared flight never constructs the candidate at all, which
+// is what lets the assigner's keyed probes skip candidate building on the
+// steady-state path.
+func (c *verdictCache) doBuild(k cacheKey, build func() mcs.TaskSet, compute func(mcs.TaskSet) bool) (bool, int) {
 	s := c.shard(k)
 	s.mu.Lock()
 	if el, hit := s.m[k]; hit {
@@ -189,7 +211,7 @@ func (c *verdictCache) do(k cacheKey, compute func() bool) (bool, int) {
 		<-f.done
 		if f.aborted {
 			// The leader panicked out of compute; settle the key ourselves.
-			return c.do(k, compute)
+			return c.doBuild(k, build, compute)
 		}
 		return f.ok, flightShared
 	}
@@ -209,7 +231,7 @@ func (c *verdictCache) do(k cacheKey, compute func() bool) (bool, int) {
 		s.mu.Unlock()
 		close(f.done)
 	}()
-	f.ok = compute()
+	f.ok = compute(build())
 	settled = true
 	return f.ok, flightRan
 }

@@ -77,6 +77,22 @@ type Stats struct {
 	TestsRun  uint64 `json:"tests_run"`
 	CacheHits uint64 `json:"cache_hits"`
 	Dedups    uint64 `json:"dedups"`
+	// The analyzer fast-path counters break TestsRun down by how the
+	// per-core analysis engines resolved the analyses that did run,
+	// aggregated over the live tenants (a removed tenant takes its tallies
+	// with it). FastAccepts counts sufficient-condition accepts (EDF-VD
+	// utilization bound, demand density bounds, AMC-rtb-implies-max
+	// per-task shortcuts), FastRejects necessary-condition rejects
+	// (per-level utilization above 1), IncrementalHits decisions resolved
+	// from memoized per-core state (bottom insertion, deadline-monotonic
+	// partial re-verification), ExactRuns full cold kernel runs, and
+	// WarmStarts fixed-point solves seeded from a previously converged
+	// response time.
+	FastAccepts     uint64 `json:"fast_accepts"`
+	FastRejects     uint64 `json:"fast_rejects"`
+	IncrementalHits uint64 `json:"incremental_hits"`
+	ExactRuns       uint64 `json:"exact_runs"`
+	WarmStarts      uint64 `json:"warm_starts"`
 	// CacheSize is the current number of cached verdicts.
 	CacheSize int `json:"cache_size"`
 	// Journal aggregates the per-tenant write-ahead-journal counters;

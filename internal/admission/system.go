@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mcsched/internal/analysis/kernel"
 	"mcsched/internal/core"
 	"mcsched/internal/journal"
 	"mcsched/internal/mcs"
@@ -24,6 +25,8 @@ import (
 // placement.
 type System struct {
 	id string
+	// rejectReason is the constant Reason string of rejecting decisions.
+	rejectReason string
 
 	mu       sync.Mutex
 	asn      *core.Assigner
@@ -54,29 +57,80 @@ type System struct {
 // decision; the global counters are atomics on the controller.
 type cachedTest struct {
 	inner core.Test
-	cache *verdictCache
-	stats *counters
+	// name caches inner.Name() — some tests build their name, and the probe
+	// hot path keys the cache on it per call.
+	name    string
+	innerFn func(mcs.TaskSet) bool // bound inner.Schedulable
+	cache   *verdictCache
+	stats   *counters
 	// tallyTests, tallyHits and tallyShared accumulate per-request
 	// accounting between resetTally/readTally calls.
 	tallyTests, tallyHits, tallyShared atomic.Int64
 }
 
 // Name implements core.Test.
-func (t *cachedTest) Name() string { return t.inner.Name() }
+func (t *cachedTest) Name() string { return t.name }
 
-// Schedulable implements core.Test. With a cache, the decision goes through
-// the single-flight path: a cached verdict is a hit, a concurrent identical
-// analysis is waited on (shared), and otherwise the analysis runs here. It
-// is safe for concurrent invocation, which parallel candidate probing
-// relies on.
+// Unwrap implements core.Unwrapper, exposing the analysis family to the
+// assigner so it can build incremental per-core analyzers beneath the
+// cache.
+func (t *cachedTest) Unwrap() core.Test { return t.inner }
+
+// Schedulable implements core.Test with the stateless analysis as the
+// cache-miss path. The assigner's probes use Memoize instead, with the
+// candidate core's analyzer as the miss path.
 func (t *cachedTest) Schedulable(ts mcs.TaskSet) bool {
+	return t.Memoize(ts, t.innerFn)
+}
+
+// Memoize implements core.Memoizer. With a cache, the decision goes through
+// the single-flight path: a cached verdict is a hit, a concurrent identical
+// analysis is waited on (shared), and otherwise compute runs here. It is
+// safe for concurrent invocation, which parallel candidate probing relies
+// on.
+func (t *cachedTest) Memoize(ts mcs.TaskSet, compute func(mcs.TaskSet) bool) bool {
 	if t.cache == nil {
 		t.tallyTests.Add(1)
 		atomic.AddUint64(&t.stats.testsRun, 1)
-		return t.inner.Schedulable(ts)
+		return compute(ts)
 	}
-	k := cacheKey{test: t.inner.Name(), set: t.cache.keyOf(ts)}
-	ok, outcome := t.cache.do(k, func() bool { return t.inner.Schedulable(ts) })
+	k := cacheKey{test: t.name, set: t.cache.keyOf(ts)}
+	ok, outcome := t.cache.doTask(k, ts, compute)
+	t.tallyOutcome(outcome)
+	return ok
+}
+
+// TaskKey implements core.KeyedMemoizer: one task's contribution to the
+// multiset fingerprint, under the shared cache's seed.
+func (t *cachedTest) TaskKey(task mcs.Task) uint64 {
+	if t.cache == nil {
+		return 0
+	}
+	return taskHash(t.cache.seed, task)
+}
+
+// MemoizeKeyed implements core.KeyedMemoizer: the caller folded the
+// candidate multiset's fingerprint incrementally (per-core key plus the
+// incoming task), so a cache hit involves no per-task hashing and no
+// candidate materialization at all; build and compute run only for flight
+// leaders. The fold is exactly keyOf's (same per-task hashes, same
+// commutative combiners), so keyed and unkeyed probes address the same
+// cache entries.
+func (t *cachedTest) MemoizeKeyed(key core.MultisetKey, build func() mcs.TaskSet, compute func(mcs.TaskSet) bool) bool {
+	if t.cache == nil {
+		t.tallyTests.Add(1)
+		atomic.AddUint64(&t.stats.testsRun, 1)
+		return compute(build())
+	}
+	k := cacheKey{test: t.name, set: setKey{sum: key.Sum, xor: key.Xor, n: key.N}}
+	ok, outcome := t.cache.doBuild(k, build, compute)
+	t.tallyOutcome(outcome)
+	return ok
+}
+
+// tallyOutcome books one single-flight outcome into the per-request tally
+// and the controller counters.
+func (t *cachedTest) tallyOutcome(outcome int) {
 	switch outcome {
 	case flightRan:
 		t.tallyTests.Add(1)
@@ -88,7 +142,6 @@ func (t *cachedTest) Schedulable(ts mcs.TaskSet) bool {
 		t.tallyShared.Add(1)
 		atomic.AddUint64(&t.stats.dedups, 1)
 	}
-	return ok
 }
 
 func (t *cachedTest) resetTally() {
@@ -104,16 +157,17 @@ func (t *cachedTest) readTally() (tests, hits, shared int) {
 // newSystem wires a tenant over m cores judged by test, sharing the
 // controller's verdict cache, counters and probe engine.
 func newSystem(id string, m int, test core.Test, cache *verdictCache, stats *counters, prober core.Prober) *System {
-	ct := &cachedTest{inner: test, cache: cache, stats: stats}
+	ct := &cachedTest{inner: test, name: test.Name(), innerFn: test.Schedulable, cache: cache, stats: stats}
 	asn := core.NewAssigner(m, ct)
 	if prober != nil {
 		asn.SetProber(prober)
 	}
 	return &System{
-		id:       id,
-		asn:      asn,
-		ct:       ct,
-		resident: make(map[int]bool),
+		id:           id,
+		rejectReason: "task fits on no core under " + ct.name,
+		asn:          asn,
+		ct:           ct,
+		resident:     make(map[int]bool),
 	}
 }
 
@@ -144,6 +198,15 @@ func (s *System) Snapshot() core.Partition {
 	return s.asn.Snapshot()
 }
 
+// AnalyzerCounters aggregates the tenant's per-core analyzer tallies
+// (fast-path filter hits, incremental decisions, warm-started fixed
+// points).
+func (s *System) AnalyzerCounters() kernel.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asn.AnalyzerCounters()
+}
+
 // validateIncoming rejects tasks that are malformed or collide with a
 // resident ID. Caller holds s.mu.
 func (s *System) validateIncoming(t mcs.Task) error {
@@ -170,7 +233,9 @@ func (s *System) place(t mcs.Task) AdmitResult {
 		res.Core = k
 		return res
 	}
-	res.Reason = fmt.Sprintf("task %d fits on no core under %s", t.ID, s.ct.Name())
+	// The reason is precomputed (the rejected ID is already in TaskID), so
+	// a rejecting decision is as allocation-free as an accepting one.
+	res.Reason = s.rejectReason
 	return res
 }
 
@@ -256,8 +321,8 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 	ordered.SortByLevelUtil()
 
 	s.ct.resetTally()
-	out := BatchResult{Admitted: true}
-	var placed []int
+	out := BatchResult{Admitted: true, Results: make([]AdmitResult, 0, len(ordered))}
+	placed := make([]int, 0, len(ordered))
 	for _, t := range ordered {
 		// Batch placement always commits tentatively so later tasks see
 		// earlier ones; a probe (or a misfit) rolls the placements back.

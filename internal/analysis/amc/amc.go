@@ -207,7 +207,19 @@ func taskFeasible(t mcs.Task, hp mcs.TaskSet, v Variant) bool {
 // responseLO solves R = C^L + Σ_{hp} ⌈R/T_j⌉·C_j^L by fixed point,
 // failing once R exceeds the deadline.
 func responseLO(t mcs.Task, hp mcs.TaskSet) (mcs.Ticks, bool) {
-	r := t.CLo()
+	return responseLOSeed(t, hp, t.CLo())
+}
+
+// responseLOSeed is responseLO warm-started at seed. The recurrence is
+// monotone, and for any r ≤ lfp (the least fixed point) the next iterate
+// satisfies r ≤ F(r) ≤ lfp — a strictly smaller iterate would lead to a
+// fixed point below the least one — so iterating from ANY seed ≤ lfp
+// converges to exactly the same response time as the cold start at C^L.
+// Callers guarantee seed validity by only seeding from a response time
+// converged against a subset of the current hp multiset (interference only
+// grew, so the old fixed point is a lower bound on the new one).
+func responseLOSeed(t mcs.Task, hp mcs.TaskSet, seed mcs.Ticks) (mcs.Ticks, bool) {
+	r := seed
 	for {
 		next := t.CLo()
 		for _, j := range hp {
@@ -225,6 +237,17 @@ func responseLO(t mcs.Task, hp mcs.TaskSet) (mcs.Ticks, bool) {
 
 // amcRTB solves R = C^H + Σ_{hpH} ⌈R/T⌉C^H + Σ_{hpL} ⌈R^LO/T⌉C^L.
 func amcRTB(t mcs.Task, hp mcs.TaskSet, rlo mcs.Ticks) bool {
+	_, ok := amcRTBSeed(t, hp, rlo, t.CHi())
+	return ok
+}
+
+// amcRTBSeed is amcRTB warm-started at seed, returning the converged
+// response time for use as a future seed. Seed validity follows the same
+// monotone-fixed-point argument as responseLOSeed: the recurrence grows
+// pointwise with both the hp multiset and rlo, so a response time converged
+// against a subset hp (and its necessarily smaller rlo) never exceeds the
+// current least fixed point.
+func amcRTBSeed(t mcs.Task, hp mcs.TaskSet, rlo, seed mcs.Ticks) (mcs.Ticks, bool) {
 	// LC interference is frozen at the LO-mode response time.
 	var lcPart mcs.Ticks
 	for _, j := range hp {
@@ -232,7 +255,7 @@ func amcRTB(t mcs.Task, hp mcs.TaskSet, rlo mcs.Ticks) bool {
 			lcPart += ceilDiv(rlo, j.Period) * j.CLo()
 		}
 	}
-	r := t.CHi()
+	r := seed
 	for {
 		next := t.CHi() + lcPart
 		for _, j := range hp {
@@ -241,10 +264,10 @@ func amcRTB(t mcs.Task, hp mcs.TaskSet, rlo mcs.Ticks) bool {
 			}
 		}
 		if next > t.Deadline {
-			return false
+			return 0, false
 		}
 		if next == r {
-			return true
+			return r, true
 		}
 		r = next
 	}

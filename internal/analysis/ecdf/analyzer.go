@@ -1,0 +1,116 @@
+package ecdf
+
+import (
+	"mcsched/internal/analysis/ey"
+	"mcsched/internal/analysis/kernel"
+	"mcsched/internal/mcs"
+)
+
+// Analyzer is the reusable per-core ECDF engine: one ey.Engine's curve
+// buffers plus reusable assignment maps shared across the EY pass and the
+// scale-factor restarts. It runs the same fast-path filters as the EY
+// analyzer (see ey.QuickVerdict — the soundness argument carries over
+// verbatim because every restart drives the identical LO/HI QPA machinery),
+// then replays Analyze's search step for step on the scratch state, so
+// verdicts stay bit-identical to the stateless test.
+type Analyzer struct {
+	opts   Options
+	ctr    kernel.Counters
+	eng    ey.Engine
+	assign ey.Assignment
+	frozen map[int]bool
+}
+
+// NewAnalyzer implements kernel.Incremental for Test.
+func (t Test) NewAnalyzer() kernel.Analyzer {
+	o := t.Opts
+	if len(o.Lambdas) == 0 {
+		o = DefaultOptions()
+	}
+	if o.EY.MaxIter == 0 {
+		o.EY = ey.DefaultOptions()
+	}
+	return &Analyzer{opts: o, assign: make(ey.Assignment), frozen: make(map[int]bool)}
+}
+
+// Name implements kernel.Analyzer.
+func (a *Analyzer) Name() string { return Test{}.Name() }
+
+// Schedulable implements kernel.Analyzer; the verdict is bit-identical to
+// Test.Schedulable.
+func (a *Analyzer) Schedulable(ts mcs.TaskSet) bool {
+	switch v := ey.QuickVerdict(ts); {
+	case v < 0:
+		a.ctr.FastRejects++
+		return false
+	case v > 0:
+		// Accepted by the EY pass already (LC-only density bound), which
+		// ECDF returns without any restart.
+		a.ctr.FastAccepts++
+		return true
+	}
+	a.ctr.ExactRuns++
+
+	// Pass 1: the EY greedy from the loosest assignment. A LO-infeasible
+	// loosest assignment also short-circuits the restarts (shrinking
+	// deadlines only raises LO demand), mirroring Analyze's second check.
+	clear(a.assign)
+	clear(a.frozen)
+	ey.InitialInto(ts, a.assign)
+	if !a.eng.LOFeasible(ts, a.assign) {
+		return false
+	}
+	if a.eng.ShapeInPlace(ts, a.assign, a.frozen, a.opts.EY) {
+		return true
+	}
+
+	// Pass 2: scale-factor restarts, each from a uniformly tightened
+	// assignment relaxed per task until LO passes.
+	for _, lambda := range a.opts.Lambdas {
+		clear(a.assign)
+		ey.ScaledInto(ts, lambda, a.assign)
+		if !a.relaxUntilLOFeasible(ts, a.assign) {
+			continue
+		}
+		clear(a.frozen)
+		if a.eng.ShapeInPlace(ts, a.assign, a.frozen, a.opts.EY) {
+			return true
+		}
+	}
+	return false
+}
+
+// relaxUntilLOFeasible is relaxUntilLOFeasible on the analyzer's engine:
+// identical relaxation order, buffer-reusing feasibility checks, and a
+// boolean report instead of a nil map.
+func (a *Analyzer) relaxUntilLOFeasible(ts mcs.TaskSet, as ey.Assignment) bool {
+	for rounds := 0; rounds < len(ts)+1; rounds++ {
+		if a.eng.LOFeasible(ts, as) {
+			return true
+		}
+		var pick mcs.Task
+		var worst mcs.Ticks = -1
+		for _, t := range ts {
+			if !t.IsHC() {
+				continue
+			}
+			if gap := t.Deadline - as[t.ID]; gap > worst {
+				worst, pick = gap, t
+			}
+		}
+		if worst <= 0 {
+			return false
+		}
+		as[pick.ID] = as[pick.ID] + (pick.Deadline-as[pick.ID]+1)/2
+	}
+	return a.eng.LOFeasible(ts, as)
+}
+
+// Forget implements kernel.Analyzer; no cross-call memo is kept.
+func (a *Analyzer) Forget(int) {}
+
+// Invalidate implements kernel.Analyzer.
+func (a *Analyzer) Invalidate() {}
+
+// Counters implements kernel.Analyzer.
+func (a *Analyzer) Counters() *kernel.Counters { return &a.ctr }

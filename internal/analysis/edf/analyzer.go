@@ -1,0 +1,89 @@
+package edf
+
+import (
+	"mcsched/internal/analysis/dbf"
+	"mcsched/internal/analysis/kernel"
+	"mcsched/internal/mcs"
+)
+
+// Analyzer is the reusable per-core engine for the worst-case-reservation
+// EDF tests. The utilization variant is already allocation-free; the demand
+// variant keeps its step curves in a reusable scratch slice and runs
+// two-sided filters before QPA:
+//
+//   - necessary reject: Σ C/T above 1 with exactly the arithmetic
+//     dbf.HorizonLO applies, so the exact path is guaranteed to agree;
+//   - sufficient accept: the density bound Σ C/D ≤ 1 (with a safety
+//     margin for float accumulation), under which dbf(ℓ) ≤ ℓ·ΣC/D ≤ ℓ
+//     holds pointwise and QPA — being exact — must return true.
+//
+// Both filters therefore preserve bit-identical verdicts.
+type Analyzer struct {
+	demand bool
+	ctr    kernel.Counters
+	steps  []dbf.Step
+}
+
+// NewAnalyzer implements kernel.Incremental for Test.
+func (t Test) NewAnalyzer() kernel.Analyzer { return &Analyzer{demand: t.Demand} }
+
+// Name implements kernel.Analyzer.
+func (a *Analyzer) Name() string { return Test{Demand: a.demand}.Name() }
+
+// Schedulable implements kernel.Analyzer.
+func (a *Analyzer) Schedulable(ts mcs.TaskSet) bool {
+	if !a.demand {
+		// The utilization test is a single pass; count the bound itself.
+		ok := UtilizationSchedulable(ts, mcs.HI)
+		if ok {
+			a.ctr.FastAccepts++
+		} else {
+			a.ctr.FastRejects++
+		}
+		return ok
+	}
+
+	// Filters mirror DemandSchedulable(ts, HI) on C^H budgets. util matches
+	// HorizonLO's accumulation order exactly (steps are built in ts order);
+	// density is only trusted when every task is constrained-deadline
+	// (D ≤ T), which the bound's proof requires.
+	var util, density float64
+	constrained := true
+	for _, t := range ts {
+		util += float64(t.CHi()) / float64(t.Period)
+		density += float64(t.CHi()) / float64(t.Deadline)
+		if t.Deadline > t.Period || t.Deadline <= 0 {
+			constrained = false
+		}
+	}
+	const horizonEps = 1e-9 // dbf.horizon's own boundary slack
+	if util > 1+horizonEps {
+		a.ctr.FastRejects++
+		return false
+	}
+	if constrained && density <= 1-1e-9 {
+		a.ctr.FastAccepts++
+		return true
+	}
+
+	a.ctr.ExactRuns++
+	steps := a.steps[:0]
+	for _, t := range ts {
+		steps = append(steps, dbf.Step{C: t.WCET[mcs.HI], D: t.Deadline, T: t.Period})
+	}
+	a.steps = steps
+	L, ok := dbf.HorizonLO(steps)
+	if !ok {
+		return false
+	}
+	return dbf.QPA(dbf.StepSum(steps), L)
+}
+
+// Forget implements kernel.Analyzer; no per-core memo is kept.
+func (a *Analyzer) Forget(int) {}
+
+// Invalidate implements kernel.Analyzer.
+func (a *Analyzer) Invalidate() {}
+
+// Counters implements kernel.Analyzer.
+func (a *Analyzer) Counters() *kernel.Counters { return &a.ctr }

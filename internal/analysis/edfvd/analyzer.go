@@ -1,0 +1,54 @@
+package edfvd
+
+import (
+	"mcsched/internal/analysis/kernel"
+	"mcsched/internal/mcs"
+)
+
+// Analyzer is the reusable per-core EDF-VD engine. The test is a closed-form
+// utilization check, so it is already allocation-free; the analyzer's job is
+// to classify each decision for the fast-path counters (the plain-EDF branch
+// is the "EDF-VD utilization bound" sufficient accept, a HI utilization
+// above 1 the necessary reject) while returning Analyze's verdict verbatim.
+type Analyzer struct {
+	ctr kernel.Counters
+}
+
+// NewAnalyzer implements kernel.Incremental for Test.
+func (Test) NewAnalyzer() kernel.Analyzer { return &Analyzer{} }
+
+// Name implements kernel.Analyzer.
+func (a *Analyzer) Name() string { return Test{}.Name() }
+
+// Schedulable implements kernel.Analyzer. The verdict is Analyze's,
+// bit-identical by construction.
+func (a *Analyzer) Schedulable(ts mcs.TaskSet) bool {
+	res := Analyze(ts)
+	const eps = 1e-12 // the same boundary slack Analyze applies
+	switch {
+	case res.PlainEDF:
+		// Accepted by the a + c ≤ 1 utilization bound alone.
+		a.ctr.FastAccepts++
+	case res.Schedulable:
+		a.ctr.ExactRuns++
+	case ts.UHH() > 1+eps || ts.TotalLo() > 1+eps:
+		// Per-level utilization above 1 fails both branches outright:
+		// c > 1 gives a + c > 1 and x·a + c ≥ c > 1, while a + b > 1 gives
+		// a + c ≥ a + b > 1 (c ≥ b per task) and fails the x ≤ 1 condition.
+		a.ctr.FastRejects++
+	default:
+		a.ctr.ExactRuns++
+	}
+	return res.Schedulable
+}
+
+// Forget implements kernel.Analyzer; EDF-VD keeps no per-core memo (the
+// utilization sums are recomputed in slice order so verdicts stay
+// bit-identical to the stateless test even across releases).
+func (a *Analyzer) Forget(int) {}
+
+// Invalidate implements kernel.Analyzer.
+func (a *Analyzer) Invalidate() {}
+
+// Counters implements kernel.Analyzer.
+func (a *Analyzer) Counters() *kernel.Counters { return &a.ctr }

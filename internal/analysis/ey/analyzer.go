@@ -1,0 +1,106 @@
+package ey
+
+import (
+	"mcsched/internal/analysis/kernel"
+	"mcsched/internal/mcs"
+)
+
+// Analyzer is the reusable per-core Ekberg–Yi engine: one Engine's curve
+// buffers plus reusable assignment maps, with two-sided filters in front of
+// the exact demand analysis.
+//
+// The filters preserve bit-identical verdicts:
+//
+//   - necessary rejects recompute the very utilization sums
+//     dbf.HorizonLO/HorizonHI reject on (same values, same accumulation
+//     order, same 1e-9 boundary), so whenever the filter fires the exact
+//     path is guaranteed to fail: a LO utilization above 1 fails the
+//     initial LO test outright, and a HI utilization above 1 makes every
+//     HIFeasible call fail regardless of the virtual-deadline assignment
+//     (shrinking deadlines never lowers the long-run slope), so the shaping
+//     loop can only run out of moves;
+//   - the sufficient accept fires only for sets without HC tasks whose
+//     LO density Σ C^L/D stays below 1 with a float-safety margin: the
+//     HI test is then vacuously true and the density bound implies the
+//     exact QPA — which is exact, not approximate — returns true.
+type Analyzer struct {
+	opts   Options
+	ctr    kernel.Counters
+	eng    Engine
+	assign Assignment
+	frozen map[int]bool
+}
+
+// NewAnalyzer implements kernel.Incremental for Test.
+func (t Test) NewAnalyzer() kernel.Analyzer {
+	o := t.Opts
+	if o.MaxIter == 0 {
+		o = DefaultOptions()
+	}
+	return &Analyzer{opts: o, assign: make(Assignment), frozen: make(map[int]bool)}
+}
+
+// Name implements kernel.Analyzer.
+func (a *Analyzer) Name() string { return Test{}.Name() }
+
+// QuickVerdict classifies ts against the shared EY/ECDF fast-path filters:
+// a negative return rejects, a positive one accepts, 0 falls through to the
+// exact analysis. The same filters front both tests (package ecdf imports
+// this) because ECDF's search can only succeed where some assignment passes
+// the identical LO/HI QPA machinery.
+func QuickVerdict(ts mcs.TaskSet) int {
+	const horizonEps = 1e-9 // dbf.horizon's boundary slack
+	var uLO, uHI, densLO float64
+	hc := 0
+	densOK := true
+	for _, t := range ts {
+		uLO += float64(t.CLo()) / float64(t.Period)
+		densLO += float64(t.CLo()) / float64(t.Deadline)
+		if t.Deadline > t.Period || t.Deadline <= 0 {
+			densOK = false
+		}
+		if t.IsHC() {
+			hc++
+			uHI += float64(t.CHi()) / float64(t.Period)
+		}
+	}
+	if uLO > 1+horizonEps || uHI > 1+horizonEps {
+		return -1
+	}
+	if hc == 0 && densOK && densLO <= 1-1e-9 {
+		return 1
+	}
+	return 0
+}
+
+// Schedulable implements kernel.Analyzer; the verdict is bit-identical to
+// Test.Schedulable.
+func (a *Analyzer) Schedulable(ts mcs.TaskSet) bool {
+	switch v := QuickVerdict(ts); {
+	case v < 0:
+		a.ctr.FastRejects++
+		return false
+	case v > 0:
+		a.ctr.FastAccepts++
+		return true
+	}
+	a.ctr.ExactRuns++
+	clear(a.assign)
+	clear(a.frozen)
+	InitialInto(ts, a.assign)
+	if !a.eng.LOFeasible(ts, a.assign) {
+		return false
+	}
+	r, ok := a.eng.shape(ts, a.assign, a.frozen, a.opts.maxIter())
+	return ok && r.Schedulable
+}
+
+// Forget implements kernel.Analyzer; the demand analysis keeps no cross-call
+// memo (assignments are rebuilt per run), so there is nothing to prune.
+func (a *Analyzer) Forget(int) {}
+
+// Invalidate implements kernel.Analyzer.
+func (a *Analyzer) Invalidate() {}
+
+// Counters implements kernel.Analyzer.
+func (a *Analyzer) Counters() *kernel.Counters { return &a.ctr }

@@ -11,6 +11,12 @@
 // loop is a documented reconstruction (the original's tuning order is
 // heuristic as well). Package ecdf builds a stronger search on top of the
 // same machinery.
+//
+// All curve construction funnels through an Engine, which keeps the step
+// and sawtooth slices in reusable scratch buffers: the stateless API
+// allocates a fresh Engine per call (behavior unchanged), while the
+// admission hot path holds one Engine per core via the Analyzer and reuses
+// its buffers across probes.
 package ey
 
 import (
@@ -60,12 +66,19 @@ func (a Assignment) clone() Assignment {
 // InitialAssignment returns the loosest assignment d_i = D_i.
 func InitialAssignment(ts mcs.TaskSet) Assignment {
 	a := make(Assignment)
+	InitialInto(ts, a)
+	return a
+}
+
+// InitialInto fills a (assumed empty) with the loosest assignment. It is
+// the map-reusing form the per-core analyzers (here and in package ecdf)
+// build on.
+func InitialInto(ts mcs.TaskSet, a Assignment) {
 	for _, t := range ts {
 		if t.IsHC() {
 			a[t.ID] = t.Deadline
 		}
 	}
-	return a
 }
 
 // ScaledAssignment returns d_i = C_i^L + λ·(D_i − C_i^L) rounded down,
@@ -73,6 +86,13 @@ func InitialAssignment(ts mcs.TaskSet) Assignment {
 // (d=C^L).
 func ScaledAssignment(ts mcs.TaskSet, lambda float64) Assignment {
 	a := make(Assignment)
+	ScaledInto(ts, lambda, a)
+	return a
+}
+
+// ScaledInto fills a (assumed empty) with the λ-scaled assignment; the
+// map-reusing form of ScaledAssignment.
+func ScaledInto(ts mcs.TaskSet, lambda float64, a Assignment) {
 	for _, t := range ts {
 		if !t.IsHC() {
 			continue
@@ -87,13 +107,23 @@ func ScaledAssignment(ts mcs.TaskSet, lambda float64) Assignment {
 		}
 		a[t.ID] = d
 	}
-	return a
 }
 
-// LOCurves builds the LO-mode demand curves: every task contributes a step
-// of size C^L at its LO-mode deadline (virtual for HC, real for LC).
-func LOCurves(ts mcs.TaskSet, a Assignment) []dbf.Step {
-	steps := make([]dbf.Step, 0, len(ts))
+// Engine holds the reusable curve scratch the demand tests are built on.
+// The zero value is ready to use; it is not safe for concurrent use.
+type Engine struct {
+	steps []dbf.Step
+	saws  []dbf.Sawtooth
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// loCurves rebuilds the LO-mode demand curves into the engine's step
+// buffer: every task contributes a step of size C^L at its LO-mode deadline
+// (virtual for HC, real for LC).
+func (e *Engine) loCurves(ts mcs.TaskSet, a Assignment) []dbf.Step {
+	steps := e.steps[:0]
 	for _, t := range ts {
 		d := t.Deadline
 		if t.IsHC() {
@@ -101,12 +131,14 @@ func LOCurves(ts mcs.TaskSet, a Assignment) []dbf.Step {
 		}
 		steps = append(steps, dbf.Step{C: t.CLo(), D: d, T: t.Period})
 	}
+	e.steps = steps
 	return steps
 }
 
-// HICurves builds the HI-mode demand curves for the HC tasks.
-func HICurves(ts mcs.TaskSet, a Assignment) []dbf.Sawtooth {
-	var saws []dbf.Sawtooth
+// hiCurves rebuilds the HI-mode demand curves of the HC tasks into the
+// engine's sawtooth buffer.
+func (e *Engine) hiCurves(ts mcs.TaskSet, a Assignment) []dbf.Sawtooth {
+	saws := e.saws[:0]
 	for _, t := range ts {
 		if !t.IsHC() {
 			continue
@@ -115,27 +147,24 @@ func HICurves(ts mcs.TaskSet, a Assignment) []dbf.Sawtooth {
 			CL: t.CLo(), CH: t.CHi(), D: t.Deadline, VD: a[t.ID], T: t.Period,
 		})
 	}
+	e.saws = saws
 	return saws
 }
 
 // LOFeasible runs the LO-mode QPA test under the assignment.
-func LOFeasible(ts mcs.TaskSet, a Assignment) bool {
-	steps := LOCurves(ts, a)
+func (e *Engine) LOFeasible(ts mcs.TaskSet, a Assignment) bool {
+	steps := e.loCurves(ts, a)
 	L, ok := dbf.HorizonLO(steps)
 	if !ok {
 		return false
 	}
-	sum := make(dbf.Sum, len(steps))
-	for i := range steps {
-		sum[i] = steps[i]
-	}
-	return dbf.QPA(sum, L)
+	return dbf.QPA(dbf.StepSum(steps), L)
 }
 
 // HIFeasible runs the HI-mode QPA test and returns a violation witness
 // when it fails.
-func HIFeasible(ts mcs.TaskSet, a Assignment) (witness mcs.Ticks, ok bool) {
-	saws := HICurves(ts, a)
+func (e *Engine) HIFeasible(ts mcs.TaskSet, a Assignment) (witness mcs.Ticks, ok bool) {
+	saws := e.hiCurves(ts, a)
 	if len(saws) == 0 {
 		return -1, true
 	}
@@ -143,11 +172,33 @@ func HIFeasible(ts mcs.TaskSet, a Assignment) (witness mcs.Ticks, ok bool) {
 	if !ok {
 		return 0, false
 	}
-	sum := make(dbf.Sum, len(saws))
-	for i := range saws {
-		sum[i] = saws[i]
+	return dbf.QPAWitness(dbf.SawSum(saws), L)
+}
+
+// LOCurves builds the LO-mode demand curves (step per task). It allocates a
+// fresh slice; the hot paths use Engine.loCurves instead.
+func LOCurves(ts mcs.TaskSet, a Assignment) []dbf.Step {
+	return append([]dbf.Step(nil), (&Engine{}).loCurves(ts, a)...)
+}
+
+// HICurves builds the HI-mode demand curves for the HC tasks.
+func HICurves(ts mcs.TaskSet, a Assignment) []dbf.Sawtooth {
+	saws := (&Engine{}).hiCurves(ts, a)
+	if len(saws) == 0 {
+		return nil
 	}
-	return dbf.QPAWitness(sum, L)
+	return append([]dbf.Sawtooth(nil), saws...)
+}
+
+// LOFeasible runs the LO-mode QPA test under the assignment.
+func LOFeasible(ts mcs.TaskSet, a Assignment) bool {
+	return (&Engine{}).LOFeasible(ts, a)
+}
+
+// HIFeasible runs the HI-mode QPA test and returns a violation witness
+// when it fails.
+func HIFeasible(ts mcs.TaskSet, a Assignment) (witness mcs.Ticks, ok bool) {
+	return (&Engine{}).HIFeasible(ts, a)
 }
 
 // Analyze runs the EY test: the loosest assignment must pass the LO test
@@ -155,11 +206,12 @@ func HIFeasible(ts mcs.TaskSet, a Assignment) (witness mcs.Ticks, ok bool) {
 // are repaired by shrinking one virtual deadline at a time, checking that
 // the LO test still holds after each move.
 func Analyze(ts mcs.TaskSet, opts Options) Result {
+	e := NewEngine()
 	a := InitialAssignment(ts)
-	if !LOFeasible(ts, a) {
+	if !e.LOFeasible(ts, a) {
 		return Result{}
 	}
-	r, ok := shape(ts, a, opts.maxIter())
+	r, ok := e.shape(ts, a, make(map[int]bool), opts.maxIter())
 	if !ok {
 		return Result{Iterations: r.Iterations}
 	}
@@ -173,24 +225,33 @@ func Schedulable(ts mcs.TaskSet) bool { return Analyze(ts, DefaultOptions()).Sch
 // LO-feasible assignment. It is the entry point package ecdf uses for its
 // scale-factor restarts. The input assignment is not modified.
 func ShapeFrom(ts mcs.TaskSet, a Assignment, opts Options) (Assignment, bool) {
-	r, ok := shape(ts, a.clone(), opts.maxIter())
+	r, ok := (&Engine{}).shape(ts, a.clone(), make(map[int]bool), opts.maxIter())
 	if !ok {
 		return nil, false
 	}
 	return r.VD, true
 }
 
-// shape runs the failure-guided tuning loop from a LO-feasible assignment.
-// It returns the final result and whether it converged.
-func shape(ts mcs.TaskSet, a Assignment, maxIter int) (Result, bool) {
-	frozen := make(map[int]bool)
+// ShapeInPlace is ShapeFrom for callers that own a as scratch: the
+// assignment is tuned in place, frozen (which must start empty) is used as
+// the loop's bookkeeping, and only the verdict is reported. Package ecdf's
+// analyzer restarts use it to avoid per-restart clones.
+func (e *Engine) ShapeInPlace(ts mcs.TaskSet, a Assignment, frozen map[int]bool, opts Options) bool {
+	_, ok := e.shape(ts, a, frozen, opts.maxIter())
+	return ok
+}
+
+// shape runs the failure-guided tuning loop from a LO-feasible assignment,
+// mutating a and frozen (both owned by the caller; frozen must start
+// empty). It returns the final result and whether it converged.
+func (e *Engine) shape(ts mcs.TaskSet, a Assignment, frozen map[int]bool, maxIter int) (Result, bool) {
 	iters := 0
 	for ; iters < maxIter; iters++ {
-		w, ok := HIFeasible(ts, a)
+		w, ok := e.HIFeasible(ts, a)
 		if ok {
 			return Result{Schedulable: true, VD: a, Iterations: iters}, true
 		}
-		if !tuneStep(ts, a, frozen, w) {
+		if !e.tuneStep(ts, a, frozen, w) {
 			return Result{Iterations: iters}, false
 		}
 	}
@@ -200,14 +261,10 @@ func shape(ts mcs.TaskSet, a Assignment, maxIter int) (Result, bool) {
 // tuneStep shrinks the virtual deadline of the task that yields the largest
 // demand reduction at the HI-mode violation witness w, while keeping the LO
 // test passing. Returns false when no move is possible.
-func tuneStep(ts mcs.TaskSet, a Assignment, frozen map[int]bool, w mcs.Ticks) bool {
+func (e *Engine) tuneStep(ts mcs.TaskSet, a Assignment, frozen map[int]bool, w mcs.Ticks) bool {
 	// Demand the HI test must shed at w.
-	saws := HICurves(ts, a)
-	sum := make(dbf.Sum, len(saws))
-	for i := range saws {
-		sum[i] = saws[i]
-	}
-	needed := sum.Value(w) - w
+	saws := e.hiCurves(ts, a)
+	needed := dbf.SawSum(saws).Value(w) - w
 	if needed <= 0 {
 		needed = 1
 	}
@@ -217,6 +274,7 @@ func tuneStep(ts mcs.TaskSet, a Assignment, frozen map[int]bool, w mcs.Ticks) bo
 		gain mcs.Ticks // demand reduction at w if shrunk fully to C^L
 	}
 	var best *candidate
+	var bestStore candidate
 	for _, t := range ts {
 		if !t.IsHC() || frozen[t.ID] {
 			continue
@@ -232,8 +290,8 @@ func tuneStep(ts mcs.TaskSet, a Assignment, frozen map[int]bool, w mcs.Ticks) bo
 			continue
 		}
 		if best == nil || gain > best.gain {
-			c := candidate{task: t, gain: gain}
-			best = &c
+			bestStore = candidate{task: t, gain: gain}
+			best = &bestStore
 		}
 	}
 	if best == nil {
@@ -253,7 +311,7 @@ func tuneStep(ts mcs.TaskSet, a Assignment, frozen map[int]bool, w mcs.Ticks) bo
 	try := func(d mcs.Ticks) bool {
 		old := a[t.ID]
 		a[t.ID] = d
-		ok := LOFeasible(ts, a)
+		ok := e.LOFeasible(ts, a)
 		if !ok {
 			a[t.ID] = old
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"mcsched/internal/analysis/kernel"
 	"mcsched/internal/mcs"
 )
 
@@ -14,13 +15,45 @@ import (
 //
 // Every placement consults the configured Test on the candidate core only,
 // so the cost of an incremental admit is a single uniprocessor analysis
-// rather than a full re-partitioning. Assigner is not safe for concurrent
-// use; callers serialize access.
+// rather than a full re-partitioning — and that analysis runs on a
+// per-core analyzer (internal/analysis/kernel): a reusable engine with
+// scratch buffers, fast-path filters and memoized response times whose
+// verdicts are bit-identical to the stateless test. Candidate sets and
+// placement orders live in pooled buffers, so a steady-state probe
+// allocates nothing. Assigner is not safe for concurrent use; callers
+// serialize access (the parallel prober only fans out the per-core probes
+// of one placement, each core on one goroutine).
 type Assigner struct {
 	cores []mcs.TaskSet
 	ulh   []float64 // Σ u^L of HC tasks per core
 	uhh   []float64 // Σ u^H of HC tasks per core
 	test  Test
+	// memo is non-nil when test can answer from a verdict cache; probes
+	// then go cache-first with the analyzer as the miss path. keyed is the
+	// same decorator when it additionally supports incremental keys; the
+	// per-core fingerprints in coreKeys then make a cache-hit probe O(1) in
+	// hashing: only the incoming task is fingerprinted, and the candidate
+	// set is materialized solely on misses.
+	memo     Memoizer
+	keyed    KeyedMemoizer
+	coreKeys []MultisetKey
+	// analyzers hold one reusable analysis engine per core, built lazily on
+	// first probe (distinct cores may initialize concurrently under a
+	// parallel prober; each slot is touched by one goroutine only).
+	analyzers []kernel.Analyzer
+	// computeFns are the analyzers' bound Schedulable methods, captured
+	// once so the memoized probe path does not allocate a closure per call;
+	// buildFns materialize core k's pending candidate (cores[k] plus
+	// pending[k]) the same way.
+	computeFns []func(mcs.TaskSet) bool
+	buildFns   []func() mcs.TaskSet
+	pending    []mcs.Task
+	// candBuf pools one candidate-set buffer per core (per core, not per
+	// assigner, because a parallel prober builds several candidates at
+	// once).
+	candBuf []mcs.TaskSet
+	// orderBuf pools the placement-order permutation.
+	orderBuf []int
 	// prober decides candidate-core scans; serial by default, fanned across
 	// worker goroutines when SetProber installs a parallel engine.
 	prober Prober
@@ -31,14 +64,25 @@ type Assigner struct {
 
 // NewAssigner returns an empty assignment over m cores gated by test.
 func NewAssigner(m int, test Test) *Assigner {
-	return &Assigner{
-		cores:    make([]mcs.TaskSet, m),
-		ulh:      make([]float64, m),
-		uhh:      make([]float64, m),
-		test:     test,
-		prober:   serialProber{},
-		lastCore: -1,
+	a := &Assigner{
+		cores:      make([]mcs.TaskSet, m),
+		ulh:        make([]float64, m),
+		uhh:        make([]float64, m),
+		test:       test,
+		analyzers:  make([]kernel.Analyzer, m),
+		computeFns: make([]func(mcs.TaskSet) bool, m),
+		candBuf:    make([]mcs.TaskSet, m),
+		prober:     serialProber{},
+		lastCore:   -1,
 	}
+	a.memo, _ = test.(Memoizer)
+	if keyed, ok := test.(KeyedMemoizer); ok {
+		a.keyed = keyed
+		a.coreKeys = make([]MultisetKey, m)
+		a.buildFns = make([]func() mcs.TaskSet, m)
+		a.pending = make([]mcs.Task, m)
+	}
+	return a
 }
 
 // SetProber routes the assigner's candidate-core scans (FirstFit,
@@ -79,11 +123,60 @@ func (a *Assigner) UHH(k int) float64 { return a.uhh[k] }
 // LastCore returns the core of the most recent successful TryAssign, or -1.
 func (a *Assigner) LastCore() int { return a.lastCore }
 
+// analyzer returns core k's analysis engine, building it on first use.
+func (a *Assigner) analyzer(k int) kernel.Analyzer {
+	if a.analyzers[k] == nil {
+		an := analyzerFor(a.test)
+		a.analyzers[k] = an
+		a.computeFns[k] = an.Schedulable
+		if a.keyed != nil {
+			k := k
+			a.buildFns[k] = func() mcs.TaskSet { return a.candidate(k, a.pending[k]) }
+		}
+	}
+	return a.analyzers[k]
+}
+
+// candidate builds φ_k ∪ {task} in core k's pooled buffer. The result is
+// scratch: valid until the next candidate call for the same core.
+func (a *Assigner) candidate(k int, task mcs.Task) mcs.TaskSet {
+	buf := append(a.candBuf[k][:0], a.cores[k]...)
+	buf = append(buf, task)
+	a.candBuf[k] = buf
+	return buf
+}
+
 // Fits reports whether core k would accept the task — the schedulability
 // test on φ_k ∪ {task} — without committing anything.
 func (a *Assigner) Fits(task mcs.Task, k int) bool {
-	cand := append(a.cores[k][:len(a.cores[k]):len(a.cores[k])], task)
-	return a.test.Schedulable(cand)
+	an := a.analyzer(k)
+	if a.keyed != nil {
+		// Incremental key: fingerprint only the incoming task; the
+		// candidate set is materialized (via buildFns) on cache misses
+		// only.
+		key := a.coreKeys[k]
+		key.Add(a.keyed.TaskKey(task))
+		a.pending[k] = task
+		return a.keyed.MemoizeKeyed(key, a.buildFns[k], a.computeFns[k])
+	}
+	cand := a.candidate(k, task)
+	if a.memo != nil {
+		return a.memo.Memoize(cand, a.computeFns[k])
+	}
+	return an.Schedulable(cand)
+}
+
+// AnalyzerCounters aggregates the fast-path/warm-start tallies of all
+// per-core analyzers. Callers must not race it against in-flight probes
+// (the admission layer reads it under the tenant lock).
+func (a *Assigner) AnalyzerCounters() kernel.Counters {
+	var c kernel.Counters
+	for _, an := range a.analyzers {
+		if an != nil {
+			an.Counters().AddTo(&c)
+		}
+	}
+	return c
 }
 
 // TryAssign tests the task on core k and commits it if schedulable.
@@ -100,10 +193,13 @@ func (a *Assigner) TryAssign(task mcs.Task, k int) bool {
 // intervening mutation); committing an untested placement voids the
 // invariant that every core passes the test.
 func (a *Assigner) Commit(task mcs.Task, k int) {
-	a.cores[k] = append(a.cores[k][:len(a.cores[k]):len(a.cores[k])], task)
+	a.cores[k] = append(a.cores[k], task)
 	if task.IsHC() {
 		a.ulh[k] += task.ULo
 		a.uhh[k] += task.UHi
+	}
+	if a.keyed != nil {
+		a.coreKeys[k].Add(a.keyed.TaskKey(task))
 	}
 	a.lastCore = k
 }
@@ -114,6 +210,15 @@ func (a *Assigner) Commit(task mcs.Task, k int) {
 // concurrently; the chosen core is identical to a serial scan either way.
 // Nothing is committed.
 func (a *Assigner) FirstFitting(task mcs.Task, order []int) int {
+	if _, serial := a.prober.(serialProber); serial {
+		// Inline the serial scan: no probe closure, no allocation.
+		for _, k := range order {
+			if a.Fits(task, k) {
+				return k
+			}
+		}
+		return -1
+	}
 	i := a.prober.First(len(order), func(i int) bool {
 		return a.Fits(task, order[i])
 	})
@@ -125,17 +230,22 @@ func (a *Assigner) FirstFitting(task mcs.Task, order []int) int {
 
 // Remove takes the task with the given ID off its core and returns it. The
 // per-core aggregates are recomputed from scratch so repeated admit/release
-// cycles do not accumulate floating-point drift.
+// cycles do not accumulate floating-point drift; the core's analyzer is
+// told to prune its memo.
 func (a *Assigner) Remove(id int) (mcs.Task, bool) {
 	for k, c := range a.cores {
 		for i, t := range c {
 			if t.ID == id {
-				next := make(mcs.TaskSet, 0, len(c)-1)
-				next = append(next, c[:i]...)
-				next = append(next, c[i+1:]...)
-				a.cores[k] = next
-				a.ulh[k] = next.ULH()
-				a.uhh[k] = next.UHH()
+				copy(c[i:], c[i+1:])
+				a.cores[k] = c[:len(c)-1]
+				a.ulh[k] = a.cores[k].ULH()
+				a.uhh[k] = a.cores[k].UHH()
+				if a.keyed != nil {
+					a.coreKeys[k].Remove(a.keyed.TaskKey(t))
+				}
+				if an := a.analyzers[k]; an != nil {
+					an.Forget(id)
+				}
 				return t, true
 			}
 		}
@@ -146,31 +256,59 @@ func (a *Assigner) Remove(id int) (mcs.Task, bool) {
 // PlacementOrder returns the core indices in the order the UDP online
 // policy tries them for the task: worst-fit by the per-core utilization
 // difference for HC tasks (Algorithm 1 line 3), index order (first-fit)
-// for LC tasks. Ties break by index so the order is deterministic.
+// for LC tasks. Ties break by index so the order is deterministic. The
+// returned slice is pooled scratch, valid until the next order-producing
+// call on this assigner.
 func (a *Assigner) PlacementOrder(task mcs.Task) []int {
-	order := make([]int, len(a.cores))
-	for i := range order {
-		order[i] = i
-	}
+	order := a.identityOrder()
 	if task.IsHC() {
-		sort.SliceStable(order, func(x, y int) bool {
-			kx, ky := a.UtilDiff(order[x]), a.UtilDiff(order[y])
-			if kx != ky {
-				return kx < ky
-			}
-			return order[x] < order[y]
-		})
+		sortOrder(order, a.UtilDiff, false)
 	}
 	return order
 }
 
-// FirstFit tries cores in index order.
-func (a *Assigner) FirstFit(task mcs.Task) bool {
-	order := make([]int, len(a.cores))
+// identityOrder resets the pooled permutation to 0..m-1.
+func (a *Assigner) identityOrder() []int {
+	if cap(a.orderBuf) < len(a.cores) {
+		a.orderBuf = make([]int, len(a.cores))
+	}
+	order := a.orderBuf[:len(a.cores)]
 	for i := range order {
 		order[i] = i
 	}
-	return a.placeInOrder(task, order)
+	return order
+}
+
+// sortOrder sorts a core permutation by key (ascending, or descending when
+// desc), ties by index. The tie-break makes the comparator a strict total
+// order, so any correct sort yields the identical permutation; small core
+// counts use an allocation-free insertion sort, large ones fall back to the
+// standard library.
+func sortOrder(order []int, key func(k int) float64, desc bool) {
+	less := func(x, y int) bool {
+		kx, ky := key(x), key(y)
+		if kx != ky {
+			if desc {
+				return kx > ky
+			}
+			return kx < ky
+		}
+		return x < y
+	}
+	if len(order) <= 128 {
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		return
+	}
+	sort.SliceStable(order, func(x, y int) bool { return less(order[x], order[y]) })
+}
+
+// FirstFit tries cores in index order.
+func (a *Assigner) FirstFit(task mcs.Task) bool {
+	return a.placeInOrder(task, a.identityOrder())
 }
 
 // placeInOrder probes the candidate cores in the given order (via the
@@ -197,20 +335,8 @@ func (a *Assigner) BestFitBy(task mcs.Task, key func(k int) float64) bool {
 }
 
 func (a *Assigner) fitBy(task mcs.Task, key func(k int) float64, desc bool) bool {
-	order := make([]int, len(a.cores))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(x, y int) bool {
-		kx, ky := key(order[x]), key(order[y])
-		if kx != ky {
-			if desc {
-				return kx > ky
-			}
-			return kx < ky
-		}
-		return order[x] < order[y]
-	})
+	order := a.identityOrder()
+	sortOrder(order, key, desc)
 	return a.placeInOrder(task, order)
 }
 
