@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -89,6 +90,8 @@ func main() {
 	testing.Init() // register test.* flags so test.benchtime is settable
 	short := flag.Bool("short", false, "reduced benchtime for smoke runs")
 	out := flag.String("out", "", "write results JSON to this file (default stdout)")
+	md := flag.String("md", "",
+		"additionally write the results as a Markdown table to this file (CI appends it to $GITHUB_STEP_SUMMARY)")
 	baseline := flag.String("baseline", "", "compare against this results file and fail on regressions")
 	maxRegress := flag.Float64("max-regress", 2.0, "maximum allowed ns/op ratio versus -baseline")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 1.5,
@@ -135,11 +138,63 @@ func main() {
 		fatal("write %s: %v", *out, err)
 	}
 
+	if *md != "" {
+		if err := os.WriteFile(*md, markdownTable(f, *baseline), 0o644); err != nil {
+			fatal("write %s: %v", *md, err)
+		}
+	}
+
 	if *baseline != "" {
 		if failed := compare(f, *baseline, *maxRegress, *maxAllocRegress); failed {
 			os.Exit(1)
 		}
 	}
+}
+
+// markdownTable renders the run as a GitHub-flavored Markdown table —
+// the per-PR perf trend surface ($GITHUB_STEP_SUMMARY). When a baseline
+// file is readable its ns/op and the resulting ratio are included, so a
+// reviewer sees drift without downloading artifacts.
+func markdownTable(f File, baselinePath string) []byte {
+	byName := map[string]Result{}
+	haveBase := false
+	if baselinePath != "" {
+		if raw, err := os.ReadFile(baselinePath); err == nil {
+			var base File
+			if json.Unmarshal(raw, &base) == nil {
+				for _, r := range base.Benchmarks {
+					byName[r.Name] = r
+				}
+				haveBase = len(byName) > 0
+			}
+		}
+	}
+	var b strings.Builder
+	mode := "full"
+	if f.Short {
+		mode = "short"
+	}
+	fmt.Fprintf(&b, "### mcbench (%s, %s, GOMAXPROCS=%d)\n\n", mode, f.GoVersion, f.GOMAXPROCS)
+	if haveBase {
+		b.WriteString("| benchmark | ns/op | allocs/op | baseline ns/op | ratio |\n")
+		b.WriteString("|---|---:|---:|---:|---:|\n")
+	} else {
+		b.WriteString("| benchmark | ns/op | allocs/op |\n")
+		b.WriteString("|---|---:|---:|\n")
+	}
+	for _, r := range f.Benchmarks {
+		if haveBase {
+			if base, ok := byName[r.Name]; ok && base.NsPerOp > 0 {
+				fmt.Fprintf(&b, "| %s | %.0f | %d | %.0f | %.2fx |\n",
+					r.Name, r.NsPerOp, r.AllocsPerOp, base.NsPerOp, r.NsPerOp/base.NsPerOp)
+			} else {
+				fmt.Fprintf(&b, "| %s | %.0f | %d | — | — |\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %d |\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	return []byte(b.String())
 }
 
 // compare checks the run against a baseline file; true means regression.

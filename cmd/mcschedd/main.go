@@ -16,6 +16,20 @@
 // for power-loss durability. On SIGINT/SIGTERM the daemon drains in-flight
 // requests, writes a final snapshot per tenant, and exits.
 //
+// With -replicate-to the daemon ships every committed journal record to
+// one or more warm-standby followers over HTTP (snapshots transfer the
+// history a lagging follower can no longer stream); with -follow the
+// daemon is such a follower: it applies replicated frames through the
+// verified replay path, rejects writes with 409, and becomes a fully
+// writable leader on POST /v1/promote — holding bit-identical partitions,
+// stats and a warm verdict cache. Replication lag is visible per follower
+// and tenant in /v1/replication and /v1/stats:
+//
+//	mcschedd -addr :8081 -data-dir /var/lib/mcschedd-standby -follow
+//	mcschedd -addr :8080 -data-dir /var/lib/mcschedd -replicate-to http://standby:8081
+//	curl -s localhost:8080/v1/replication
+//	curl -s -X POST standby:8081/v1/promote
+//
 // With -pprof <addr> the daemon additionally serves net/http/pprof on a
 // separate listener (opt-in, own port, never on the service address), so
 // operators can profile the admit hot path in production:
@@ -45,7 +59,10 @@
 //	POST   /v1/systems/{id}/probe     same shapes, no commit
 //	POST   /v1/systems/{id}/release   release {"task_id":…} or {"task_ids":[…]}
 //	POST   /v1/systems/{id}/snapshot  force a journal snapshot + truncation
-//	GET    /v1/stats                  controller counters (admits, cache hits, journal, …)
+//	GET    /v1/stats                  controller counters (admits, cache hits, journal, replication, …)
+//	GET    /v1/replication            replication role + per-tenant positions / per-follower lag
+//	POST   /v1/replication/frame      apply one leader frame (follower mode only)
+//	POST   /v1/promote                flip a follower writable (idempotent)
 package main
 
 import (
@@ -58,11 +75,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"mcsched"
 	"mcsched/internal/admission"
+	"mcsched/internal/replication"
 )
 
 func main() {
@@ -79,10 +98,20 @@ func main() {
 		"journaled events per tenant between automatic snapshots (negative disables; requires -data-dir)")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+	replicateTo := flag.String("replicate-to", "",
+		"comma-separated follower base URLs (e.g. http://standby:8080) to ship the journal to (requires -data-dir)")
+	follow := flag.Bool("follow", false,
+		"start as a warm-standby follower: apply replicated frames, reject writes until POST /v1/promote (requires -data-dir)")
 	flag.Parse()
 
 	if *dataDir == "" && (*fsync || *snapshotEvery != admission.DefaultSnapshotEvery) {
 		log.Fatal("mcschedd: -fsync and -snapshot-every require -data-dir")
+	}
+	if *dataDir == "" && (*replicateTo != "" || *follow) {
+		log.Fatal("mcschedd: -replicate-to and -follow require -data-dir")
+	}
+	if *replicateTo != "" && *follow {
+		log.Fatal("mcschedd: -replicate-to and -follow are mutually exclusive (chained replication is not supported)")
 	}
 
 	ctrl := admission.NewController(admission.Config{
@@ -93,6 +122,7 @@ func main() {
 		Fsync:         *fsync,
 		SnapshotEvery: *snapshotEvery,
 		Tests:         mcsched.TestByName,
+		Follower:      *follow,
 	})
 	if *dataDir != "" {
 		rs, err := ctrl.Recover()
@@ -101,6 +131,28 @@ func main() {
 		}
 		log.Printf("mcschedd: recovered %d systems (%d tasks) from %s: %d snapshots loaded, %d events replayed",
 			rs.Systems, rs.Tasks, *dataDir, rs.SnapshotsLoaded, rs.Events)
+	}
+
+	srvHandler := newServer(ctrl)
+	var ship *replication.Shipper
+	if *replicateTo != "" {
+		followers := strings.Split(*replicateTo, ",")
+		for i := range followers {
+			followers[i] = strings.TrimSpace(followers[i])
+		}
+		var err error
+		ship, err = replication.NewShipper(ctrl, followers, replication.ShipperConfig{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("mcschedd: %v", err)
+		}
+		ctrl.SetHooks(ship.Hooks())
+		ship.Start()
+		srvHandler.withShipper(ship)
+		log.Printf("mcschedd: replicating journal to %s", strings.Join(followers, ", "))
+	}
+	if *follow {
+		srvHandler.withReceiver(replication.NewReceiver(ctrl))
+		log.Printf("mcschedd: follower mode — writes rejected until POST /v1/promote")
 	}
 
 	if *pprofAddr != "" {
@@ -125,7 +177,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(ctrl),
+		Handler:           srvHandler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -149,6 +201,16 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mcschedd: shutdown: %v", err)
+	}
+	if ship != nil {
+		// Drain the shipper so followers hold everything this leader
+		// committed, then stop it before the journals close.
+		flushCtx, cancelFlush := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := ship.Flush(flushCtx); err != nil {
+			log.Printf("mcschedd: replication flush: %v", err)
+		}
+		cancelFlush()
+		ship.Stop()
 	}
 	if *dataDir != "" {
 		if err := ctrl.SnapshotAll(); err != nil {

@@ -10,14 +10,19 @@ import (
 	"mcsched/internal/admission"
 	"mcsched/internal/mcs"
 	"mcsched/internal/mcsio"
+	"mcsched/internal/replication"
 )
 
 // server is the HTTP face of one admission.Controller. It owns no state of
 // its own: every handler resolves a tenant, delegates, and renders JSON, so
-// all concurrency control lives in the admission package.
+// all concurrency control lives in the admission package. ship and recv
+// attach the replication roles: a leader that replicates carries a shipper,
+// a follower carries a receiver, and either may be nil.
 type server struct {
 	ctrl *admission.Controller
 	mux  *http.ServeMux
+	ship *replication.Shipper
+	recv *replication.Receiver
 }
 
 func newServer(ctrl *admission.Controller) *server {
@@ -31,6 +36,22 @@ func newServer(ctrl *admission.Controller) *server {
 	s.mux.HandleFunc("POST /v1/systems/{id}/release", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/systems/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET "+replication.StatusPath, s.handleReplicationStatus)
+	s.mux.HandleFunc("POST "+replication.FramePath, s.handleReplicationFrame)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	return s
+}
+
+// withShipper attaches the leader-side log shipper (replication lag shows
+// up in /v1/replication and /v1/stats).
+func (s *server) withShipper(ship *replication.Shipper) *server {
+	s.ship = ship
+	return s
+}
+
+// withReceiver attaches the follower-side frame receiver.
+func (s *server) withReceiver(recv *replication.Receiver) *server {
+	s.recv = recv
 	return s
 }
 
@@ -279,8 +300,72 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	reply(w, http.StatusOK, snapshotResponse{System: id, Journal: js})
 }
 
+// statsResponse widens the controller stats with the replication view.
+type statsResponse struct {
+	admission.Stats
+	Replication *replication.Status `json:"replication,omitempty"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	reply(w, http.StatusOK, s.ctrl.Stats())
+	resp := statsResponse{Stats: s.ctrl.Stats()}
+	if st := s.replicationStatus(); st != nil {
+		resp.Replication = st
+	}
+	reply(w, http.StatusOK, resp)
+}
+
+// replicationStatus composes the role-appropriate replication document, or
+// nil when the daemon neither ships nor follows.
+func (s *server) replicationStatus() *replication.Status {
+	if s.ship == nil && s.recv == nil {
+		return nil
+	}
+	st := &replication.Status{Role: admission.RoleName(s.ctrl.IsFollower())}
+	if s.ship != nil {
+		st.Followers = s.ship.Status()
+	}
+	if s.recv != nil {
+		applied := s.recv.Applied()
+		st.Applied = &applied
+		st.Tenants = s.ctrl.ReplicationProgress()
+	}
+	return st
+}
+
+// handleReplicationStatus serves the replication position. A follower
+// answers the strict wire document (mcsio.ReplStatusJSON) a leader primes
+// its cursors from; a leader answers the operator view with per-follower
+// lag.
+func (s *server) handleReplicationStatus(w http.ResponseWriter, r *http.Request) {
+	if s.recv != nil && s.ctrl.IsFollower() {
+		s.recv.HandleStatus(w, r)
+		return
+	}
+	st := s.replicationStatus()
+	if st == nil {
+		st = &replication.Status{Role: admission.RoleName(s.ctrl.IsFollower())}
+	}
+	reply(w, http.StatusOK, st)
+}
+
+// handleReplicationFrame accepts leader frames on a follower; any other
+// role answers 409 so a stale leader is fenced off.
+func (s *server) handleReplicationFrame(w http.ResponseWriter, r *http.Request) {
+	if s.recv == nil {
+		fail(w, http.StatusConflict, admission.ErrNotFollower)
+		return
+	}
+	s.recv.HandleFrame(w, r)
+}
+
+// handlePromote flips a follower writable; promoting a leader is an
+// idempotent no-op (200, promoted=false).
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	promoted := s.ctrl.Promote()
+	reply(w, http.StatusOK, replication.PromoteResponse{
+		Role:     admission.RoleName(s.ctrl.IsFollower()),
+		Promoted: promoted,
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -309,7 +394,10 @@ func statusOf(err error) int {
 	case errors.Is(err, admission.ErrNoSystem), errors.Is(err, admission.ErrUnknownTask):
 		return http.StatusNotFound
 	case errors.Is(err, admission.ErrDuplicateSystem), errors.Is(err, admission.ErrDuplicateTask),
-		errors.Is(err, admission.ErrJournalDisabled), errors.Is(err, admission.ErrJournalExists):
+		errors.Is(err, admission.ErrJournalDisabled), errors.Is(err, admission.ErrJournalExists),
+		errors.Is(err, admission.ErrFollower), errors.Is(err, admission.ErrNotFollower):
+		// Follower-mode rejections are conflicts of role, not bad requests:
+		// the same call succeeds on the leader (or after promotion).
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest

@@ -89,6 +89,28 @@ type Config struct {
 	// Recover is used; the mcsched facade wires its TestByName in by
 	// default.
 	Tests func(name string) (core.Test, bool)
+
+	// Follower starts the controller as a warm-standby replica: every
+	// write (create, admit, batch, release, remove) is rejected with
+	// ErrFollower until Promote, while reads and probes keep working and
+	// replicated journal records from the leader apply through
+	// ApplyReplicatedRecords and friends. Requires DataDir — the follower
+	// journals what it applies, so a promoted follower is durable from its
+	// first own decision.
+	Follower bool
+}
+
+// Hooks observe controller transitions for the replication layer. Both
+// callbacks run synchronously on the mutating goroutine (Committed under
+// the tenant lock), so they must be fast and must not call back into the
+// controller.
+type Hooks struct {
+	// Committed fires after a journal record is durably appended: the
+	// transition at seq is committed and readable via the tenant journal's
+	// ReadFrom.
+	Committed func(tenant string, seq uint64)
+	// Removed fires after a tenant and its journal directory are deleted.
+	Removed func(tenant string)
 }
 
 // DefaultConfig returns the production defaults. Probing stays serial by
@@ -149,6 +171,15 @@ type Controller struct {
 	snapFailures atomic.Uint64
 	recoverOnce  atomic.Bool
 	recovery     RecoveryStats
+
+	// follower is the replication role: true rejects writes until Promote.
+	// hooks late-binds the replication layer's commit observers (SetHooks);
+	// systems hold a pointer to it so hooks attach after recovery too.
+	// replMu serializes replicated applies, so a retried frame racing its
+	// original delivery is safe rather than undefined.
+	follower atomic.Bool
+	hooks    atomic.Pointer[Hooks]
+	replMu   sync.Mutex
 }
 
 // NewController returns an empty controller.
@@ -163,7 +194,35 @@ func NewController(cfg Config) *Controller {
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*System)
 	}
+	c.follower.Store(cfg.Follower)
 	return c
+}
+
+// Journaled reports whether the controller persists transitions to a data
+// directory — the precondition for both sides of journal replication.
+func (c *Controller) Journaled() bool { return c.cfg.journaling() }
+
+// SetHooks installs (or replaces) the replication hooks. Call it before
+// serving traffic; transitions committed earlier are still observable
+// through the tenant journals, which is how the shipper primes itself.
+func (c *Controller) SetHooks(h Hooks) { c.hooks.Store(&h) }
+
+// IsFollower reports whether the controller currently rejects writes as a
+// warm-standby replica.
+func (c *Controller) IsFollower() bool { return c.follower.Load() }
+
+// Promote flips a follower into a writable leader. It returns true when the
+// call performed the promotion and false when the controller already led.
+// Promotion changes no tenant state — the replica was built through the
+// same verified replay path as recovery, so it is serving-ready the moment
+// the flag flips. Taking replMu serializes the flip against in-flight
+// replicated frames: once Promote returns, no stale-leader frame is still
+// mid-apply, and every later frame fails the role check under the same
+// lock — the promoted history cannot be interleaved with the old leader's.
+func (c *Controller) Promote() bool {
+	c.replMu.Lock()
+	defer c.replMu.Unlock()
+	return c.follower.CompareAndSwap(true, false)
 }
 
 func (c *Controller) shard(id string) *tenantShard {
@@ -191,6 +250,9 @@ func (c *Controller) CreateSystem(id string, m int, test core.Test) (*System, er
 	if len(id) > MaxSystemID {
 		return nil, fmt.Errorf("admission: system ID longer than %d bytes", MaxSystemID)
 	}
+	if c.follower.Load() {
+		return nil, ErrFollower
+	}
 	if id != "" {
 		return c.insert(id, m, test)
 	}
@@ -204,6 +266,15 @@ func (c *Controller) CreateSystem(id string, m int, test core.Test) (*System, er
 	}
 }
 
+// newTenant builds a System wired to the controller's shared cache, probe
+// engine, role flag and replication hooks.
+func (c *Controller) newTenant(id string, m int, test core.Test) *System {
+	sys := newSystem(id, m, test, c.cache, &c.stats, proberOrNil(c.engine))
+	sys.follower = &c.follower
+	sys.hooks = &c.hooks
+	return sys
+}
+
 func (c *Controller) insert(id string, m int, test core.Test) (*System, error) {
 	sh := c.shard(id)
 	sh.mu.Lock()
@@ -211,7 +282,7 @@ func (c *Controller) insert(id string, m int, test core.Test) (*System, error) {
 	if _, dup := sh.m[id]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateSystem, id)
 	}
-	sys := newSystem(id, m, test, c.cache, &c.stats, proberOrNil(c.engine))
+	sys := c.newTenant(id, m, test)
 	if c.cfg.journaling() {
 		// The create-system event is the journal's first record; a tenant
 		// that cannot journal is not created at all.
@@ -237,8 +308,17 @@ func (c *Controller) System(id string) (*System, error) {
 
 // RemoveSystem drops a tenant and all its state, including its journal
 // directory — removal is the one transition recorded by deletion rather
-// than by an event.
+// than by an event; replication propagates it as a remove frame.
 func (c *Controller) RemoveSystem(id string) error {
+	if c.follower.Load() {
+		return ErrFollower
+	}
+	return c.removeSystem(id)
+}
+
+// removeSystem is the role-agnostic removal shared by RemoveSystem (leader
+// writes) and ApplyReplicatedRemove (follower applies).
+func (c *Controller) removeSystem(id string) error {
 	sh := c.shard(id)
 	sh.mu.Lock()
 	sys, ok := sh.m[id]
@@ -255,6 +335,9 @@ func (c *Controller) RemoveSystem(id string) error {
 		if err := journal.RemoveTenantDir(c.tenantDir(id)); err != nil {
 			return fmt.Errorf("admission: remove journal of %q: %w", id, err)
 		}
+	}
+	if h := c.hooks.Load(); h != nil && h.Removed != nil {
+		h.Removed(id)
 	}
 	return nil
 }
@@ -276,6 +359,7 @@ func (c *Controller) SystemIDs() []string {
 // Stats snapshots the controller counters and gauges.
 func (c *Controller) Stats() Stats {
 	st := Stats{
+		Role:      RoleName(c.follower.Load()),
 		Admits:    atomic.LoadUint64(&c.stats.admits),
 		Rejects:   atomic.LoadUint64(&c.stats.rejects),
 		Probes:    atomic.LoadUint64(&c.stats.probes),
@@ -325,6 +409,14 @@ func (c *Controller) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// RoleName renders a follower flag as the wire role string.
+func RoleName(follower bool) string {
+	if follower {
+		return "follower"
+	}
+	return "leader"
 }
 
 // proberOrNil converts a possibly-nil *parallel.Engine into a core.Prober

@@ -1,0 +1,385 @@
+package admission
+
+// Follower mode: the receive side of journal replication. A controller
+// started with Config.Follower holds warm-standby replicas of the leader's
+// tenants: replicated journal records append to the local per-tenant
+// write-ahead logs (so the follower is durable in its own right) and apply
+// through the same verified replay path recovery uses — every recorded
+// decision is re-placed and checked against the leader's, and the analyses
+// warm the local verdict cache. Writes are rejected with ErrFollower until
+// Promote, after which the controller serves exactly as if it had
+// Recovered from the leader's journal.
+//
+// The apply order is verify → append → apply, mirroring the live
+// validate → append → apply commit discipline: a record that fails
+// verification (malformed, divergent placement, non-resident release) is
+// refused before it touches the local journal, so a tampered or torn
+// stream cannot poison the replica's durable state.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"mcsched/internal/journal"
+	"mcsched/internal/mcsio"
+)
+
+// Replication sentinel errors.
+var (
+	// ErrFollower rejects writes on a warm-standby controller; promote it
+	// to accept traffic.
+	ErrFollower = errors.New("admission: follower rejects writes until promoted")
+	// ErrNotFollower rejects replicated applies on a leader (including a
+	// just-promoted follower, so a stale leader cannot keep feeding it).
+	ErrNotFollower = errors.New("admission: not a follower")
+	// ErrReplicationGap reports a replicated record beyond the local tail;
+	// the shipper must resync its cursor to the acknowledged position.
+	ErrReplicationGap = errors.New("admission: replication sequence gap")
+)
+
+// followerGuard validates that the controller can accept replicated state.
+func (c *Controller) followerGuard() error {
+	if !c.follower.Load() {
+		return ErrNotFollower
+	}
+	if !c.cfg.journaling() {
+		return errors.New("admission: follower requires a data directory")
+	}
+	if c.cfg.Tests == nil {
+		return errors.New("admission: Config.Tests resolver required to apply replicated systems")
+	}
+	return nil
+}
+
+// TenantNext reports the next journal sequence expected for a tenant: the
+// local log tail, or 1 for a tenant this controller does not hold. It is
+// the cursor value replication acknowledgements carry.
+func (c *Controller) TenantNext(tenant string) uint64 {
+	sys, err := c.System(tenant)
+	if err != nil {
+		return 1
+	}
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if sys.log == nil {
+		return 1
+	}
+	return sys.log.NextSeq()
+}
+
+// ReplicationProgress maps every journaled tenant to the next sequence its
+// local journal expects — the follower's position document, and the
+// leader's own tail for lag computation.
+func (c *Controller) ReplicationProgress() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, id := range c.SystemIDs() {
+		sys, err := c.System(id)
+		if err != nil {
+			continue
+		}
+		sys.mu.Lock()
+		if sys.log != nil {
+			out[id] = sys.log.NextSeq()
+		}
+		sys.mu.Unlock()
+	}
+	return out
+}
+
+// ApplyReplicatedRecords appends a contiguous batch of the leader's raw
+// journal records (Records[i] is sequence first+i) to the tenant's local
+// journal and applies them through the verified replay path. Records at
+// sequences the tenant already holds are skipped, so redelivery after a
+// retried frame is idempotent; a record beyond the local tail fails with
+// ErrReplicationGap. next is always the tenant's next expected sequence —
+// on success the new tail, on failure the resync position the
+// acknowledgement should carry; applied counts the records actually
+// applied (skipped redeliveries excluded). The role check runs under
+// replMu, the same lock Promote takes, so a frame either completes before
+// a promotion or observes it — never half of each.
+func (c *Controller) ApplyReplicatedRecords(tenant string, first uint64, recs [][]byte) (next uint64, applied int, err error) {
+	c.replMu.Lock()
+	defer c.replMu.Unlock()
+	if err := c.followerGuard(); err != nil {
+		return c.TenantNext(tenant), 0, err
+	}
+	if first == 0 || len(recs) == 0 {
+		return c.TenantNext(tenant), 0, fmt.Errorf("admission: empty replication batch")
+	}
+	for i, raw := range recs {
+		seq := first + uint64(i)
+		e, err := mcsio.DecodeEvent(raw)
+		if err != nil {
+			return c.TenantNext(tenant), applied, err
+		}
+		if e.Seq != seq {
+			return c.TenantNext(tenant), applied, fmt.Errorf(
+				"%w: record at position %d stamped %d", ErrReplayDivergence, seq, e.Seq)
+		}
+		did, err := c.applyReplicatedRecord(tenant, e, raw)
+		if err != nil {
+			return c.TenantNext(tenant), applied, err
+		}
+		if did {
+			applied++
+		}
+	}
+	return c.TenantNext(tenant), applied, nil
+}
+
+// applyReplicatedRecord routes one verified-sequence record: tenant
+// bootstrap for create-system on an unknown tenant, the replay path
+// otherwise. It reports whether the record was applied (false for an
+// idempotently skipped redelivery). Caller holds c.replMu.
+func (c *Controller) applyReplicatedRecord(tenant string, e mcsio.EventJSON, raw []byte) (bool, error) {
+	sys, err := c.System(tenant)
+	if errors.Is(err, ErrNoSystem) {
+		if e.Seq > 1 {
+			return false, fmt.Errorf("%w: tenant %q unknown but stream starts at %d", ErrReplicationGap, tenant, e.Seq)
+		}
+		if e.Kind != mcsio.EventCreateSystem {
+			return false, fmt.Errorf("%w: first record of %q is %s, not create-system", ErrReplayDivergence, tenant, e.Kind)
+		}
+		if err := c.bootstrapReplicatedTenant(tenant, e, raw); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if sys.log == nil {
+		return false, fmt.Errorf("admission: replicated tenant %q has no journal", tenant)
+	}
+	localNext := sys.log.NextSeq()
+	if e.Seq < localNext {
+		return false, nil // already applied: idempotent redelivery
+	}
+	if e.Seq > localNext {
+		return false, fmt.Errorf("%w: record %d but local tail is %d", ErrReplicationGap, e.Seq, localNext)
+	}
+	if err := sys.applyReplicatedLocked(e, raw); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// bootstrapReplicatedTenant creates a follower-side tenant from a
+// replicated create-system event, appending the leader's raw bytes as the
+// local journal's first record.
+func (c *Controller) bootstrapReplicatedTenant(tenant string, e mcsio.EventJSON, raw []byte) error {
+	if e.System != tenant {
+		return fmt.Errorf("%w: create-system names %q", ErrReplayDivergence, e.System)
+	}
+	if e.Processors > MaxProcessors {
+		return fmt.Errorf("%w: create-system with %d processors", ErrReplayDivergence, e.Processors)
+	}
+	if len(tenant) > MaxSystemID {
+		return fmt.Errorf("admission: system ID longer than %d bytes", MaxSystemID)
+	}
+	test, found := c.cfg.Tests(e.Test)
+	if !found {
+		return fmt.Errorf("admission: unknown schedulability test %q in replicated stream", e.Test)
+	}
+	sys := c.newTenant(tenant, e.Processors, test)
+	lg, err := journal.Open(c.tenantDir(tenant), c.cfg.journalOptions())
+	if err != nil {
+		return err
+	}
+	if lg.NextSeq() != 1 {
+		lg.Close()
+		return fmt.Errorf("%w: tenant %q", ErrJournalExists, tenant)
+	}
+	sys.log = lg
+	sys.snapEvery = c.cfg.snapshotEvery()
+	sys.snapFailures = &c.snapFailures
+	if err := sys.appendPayloadLocked(raw); err != nil {
+		lg.Close()
+		return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+	}
+	if err := c.insertRecovered(sys); err != nil {
+		lg.Close()
+		return err
+	}
+	return nil
+}
+
+// applyReplicatedLocked verifies one replicated event against the live
+// placement, appends the leader's raw bytes as the local commit point, and
+// applies the transition — the follower-side analogue of the live
+// validate → append → apply order. Verification failures mutate nothing,
+// so a tampered record is refused before it can poison the local journal.
+// Caller holds s.mu.
+func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) error {
+	switch e.Kind {
+	case mcsio.EventAdmit:
+		t, err := mcsio.TaskFromJSON(*e.Task)
+		if err != nil {
+			return err
+		}
+		if err := s.verifyReplayedAdmit(t, e.Core); err != nil {
+			return err
+		}
+		if err := s.appendPayloadLocked(raw); err != nil {
+			return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+		}
+		s.commitPlaced(t, e.Core)
+		s.admits++
+		atomic.AddUint64(&s.ct.stats.admits, 1)
+
+	case mcsio.EventAdmitBatch:
+		placed := make([]int, 0, len(e.Tasks))
+		rollback := func() {
+			for _, id := range placed {
+				s.asn.Remove(id)
+				delete(s.resident, id)
+			}
+		}
+		// Tentatively commit task by task so later placements see earlier
+		// ones — the same discipline as the live batch path — then append
+		// once the whole batch verifies.
+		for i, j := range e.Tasks {
+			t, err := mcsio.TaskFromJSON(j)
+			if err != nil {
+				rollback()
+				return err
+			}
+			if err := s.verifyReplayedAdmit(t, e.Cores[i]); err != nil {
+				rollback()
+				return err
+			}
+			s.commitPlaced(t, e.Cores[i])
+			placed = append(placed, t.ID)
+		}
+		if err := s.appendPayloadLocked(raw); err != nil {
+			rollback()
+			return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+		}
+		s.admits += uint64(len(e.Tasks))
+		atomic.AddUint64(&s.ct.stats.admits, uint64(len(e.Tasks)))
+
+	case mcsio.EventRelease:
+		for _, tid := range e.TaskIDs {
+			if !s.resident[tid] {
+				return fmt.Errorf("%w: release of non-resident task %d", ErrReplayDivergence, tid)
+			}
+		}
+		if err := s.appendPayloadLocked(raw); err != nil {
+			return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+		}
+		for _, tid := range e.TaskIDs {
+			s.asn.Remove(tid)
+			delete(s.resident, tid)
+			s.releases++
+			atomic.AddUint64(&s.ct.stats.releases, 1)
+		}
+
+	default:
+		// A second create-system for a live tenant lands here too: its
+		// sequence matched the tail, so the stream is semantically corrupt.
+		return fmt.Errorf("%w: unexpected replicated event kind %q", ErrReplayDivergence, e.Kind)
+	}
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+// ApplyReplicatedSnapshot adopts a leader snapshot covering records 1..seq
+// — the catch-up path when the follower is behind the leader's truncation
+// horizon. The tenant's state is rebuilt from the snapshot exactly as
+// recovery would (bit-identical re-commit) and the snapshot is installed
+// into the tenant's existing journal (journal.InstallSnapshot writes the
+// snapshot atomically before truncating anything), so a failure at any
+// point leaves the previous replica intact on disk — the old state is
+// only superseded, never destroyed first. A follower already at or past
+// seq skips the install (idempotent redelivery).
+func (c *Controller) ApplyReplicatedSnapshot(tenant string, seq uint64, payload []byte) (next uint64, err error) {
+	c.replMu.Lock()
+	defer c.replMu.Unlock()
+	if err := c.followerGuard(); err != nil {
+		return c.TenantNext(tenant), err
+	}
+
+	if n := c.TenantNext(tenant); n > seq {
+		return n, nil // local state already covers the snapshot
+	}
+	// Cross-check the snapshot's own stamp against the claimed sequence
+	// before touching any state (the wire layer checks this too; the apply
+	// layer does not trust it).
+	snap, _, err := mcsio.DecodeSnapshot(payload)
+	if err != nil {
+		return c.TenantNext(tenant), err
+	}
+	if snap.Seq != seq {
+		return c.TenantNext(tenant), fmt.Errorf(
+			"%w: snapshot stamped %d installed as %d", ErrReplayDivergence, snap.Seq, seq)
+	}
+	sys, err := c.systemFromSnapshot(tenant, payload)
+	if err != nil {
+		return c.TenantNext(tenant), err
+	}
+
+	// Take over the stale replica's journal (or open a fresh one for an
+	// unknown tenant) and install the snapshot in place: the write is an
+	// fsync+rename, and truncation of superseded segments happens only
+	// after the new snapshot is live, so there is no window with the old
+	// replica gone and the new one not yet durable.
+	var lg *journal.Log
+	var oldAdmits, oldReleases uint64
+	old, oldErr := c.System(tenant)
+	if oldErr == nil {
+		old.mu.Lock()
+		oldAdmits, oldReleases = old.admits, old.releases
+		lg, old.log = old.log, nil // detach so the stale system cannot touch it
+		old.mu.Unlock()
+	}
+	if lg == nil {
+		lg, err = journal.Open(c.tenantDir(tenant), c.cfg.journalOptions())
+		if err != nil {
+			return c.TenantNext(tenant), fmt.Errorf("%w: open journal: %w", ErrJournalIO, err)
+		}
+	}
+	if err := lg.InstallSnapshot(payload, seq); err != nil {
+		if oldErr == nil {
+			// Reattach: the old replica on disk is untouched and stays live.
+			old.mu.Lock()
+			old.log = lg
+			old.mu.Unlock()
+		} else {
+			lg.Close()
+		}
+		return c.TenantNext(tenant), fmt.Errorf("%w: install snapshot: %w", ErrJournalIO, err)
+	}
+	sys.log = lg
+	sys.snapEvery = c.cfg.snapshotEvery()
+	sys.snapFailures = &c.snapFailures
+
+	// Reconcile the controller-wide counters: the snapshot's lifetime
+	// counters replace whatever the retired replica had contributed.
+	atomic.AddUint64(&c.stats.admits, sys.admits-oldAdmits)
+	atomic.AddUint64(&c.stats.releases, sys.releases-oldReleases)
+
+	sh := c.shard(tenant)
+	sh.mu.Lock()
+	sh.m[tenant] = sys
+	sh.mu.Unlock()
+	return seq + 1, nil
+}
+
+// ApplyReplicatedRemove propagates a leader-side tenant removal. Removing a
+// tenant the follower does not hold is a no-op (idempotent redelivery).
+func (c *Controller) ApplyReplicatedRemove(tenant string) error {
+	c.replMu.Lock()
+	defer c.replMu.Unlock()
+	if err := c.followerGuard(); err != nil {
+		return err
+	}
+	err := c.removeSystem(tenant)
+	if errors.Is(err, ErrNoSystem) {
+		return nil
+	}
+	return err
+}

@@ -90,10 +90,27 @@ func (s *System) appendLocked(e mcsio.EventJSON) error {
 	if err != nil {
 		return fmt.Errorf("admission: encode %s event: %w", e.Kind, err)
 	}
-	if _, err := s.log.Append(b); err != nil {
+	if err := s.appendPayloadLocked(b); err != nil {
 		return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
 	}
+	return nil
+}
+
+// appendPayloadLocked appends pre-encoded record bytes — the shared commit
+// point of live encoding (appendLocked) and replicated raw records
+// (applyReplicatedLocked) — counts the record toward the snapshot cadence,
+// and fires the replication commit hook. Caller holds s.mu.
+func (s *System) appendPayloadLocked(b []byte) error {
+	seq, err := s.log.Append(b)
+	if err != nil {
+		return err
+	}
 	s.sinceSnap++
+	if s.hooks != nil {
+		if h := s.hooks.Load(); h != nil && h.Committed != nil {
+			h.Committed(s.id, seq)
+		}
+	}
 	return nil
 }
 
@@ -361,38 +378,12 @@ func (c *Controller) recoverTenant(id, dir string) (*System, int, bool, error) {
 		return nil, 0, false, err
 	}
 	if hasSnap {
-		snap, part, err := mcsio.DecodeSnapshot(payload)
+		sys, err = c.systemFromSnapshot(id, payload)
 		if err != nil {
 			return nil, 0, false, err
 		}
-		if snap.System != id {
-			return nil, 0, false, fmt.Errorf("%w: snapshot names system %q", ErrReplayDivergence, snap.System)
-		}
-		if snap.Processors > MaxProcessors {
-			return nil, 0, false, fmt.Errorf("%w: snapshot with %d processors", ErrReplayDivergence, snap.Processors)
-		}
-		test, found := c.cfg.Tests(snap.Test)
-		if !found {
-			return nil, 0, false, fmt.Errorf("admission: unknown schedulability test %q in snapshot", snap.Test)
-		}
-		sys = newSystem(id, snap.Processors, test, c.cache, &c.stats, proberOrNil(c.engine))
-		// Re-commit the snapshot partition core by core in recorded order:
-		// the per-core aggregates accumulate in exactly the order the live
-		// assigner built them, so the restored floats are bit-identical.
-		for k, coreSet := range part.Cores {
-			for _, t := range coreSet {
-				if sys.resident[t.ID] {
-					return nil, 0, false, fmt.Errorf("%w: task %d twice in snapshot", ErrReplayDivergence, t.ID)
-				}
-				sys.asn.Commit(t, k)
-				sys.resident[t.ID] = true
-			}
-		}
-		// Restore the tenant's lifetime counters so post-recovery stats
-		// match a controller that never restarted.
-		sys.admits, sys.releases = snap.Admits, snap.Releases
-		atomic.AddUint64(&c.stats.admits, snap.Admits)
-		atomic.AddUint64(&c.stats.releases, snap.Releases)
+		atomic.AddUint64(&c.stats.admits, sys.admits)
+		atomic.AddUint64(&c.stats.releases, sys.releases)
 		fromSnap = true
 	}
 
@@ -420,49 +411,13 @@ func (c *Controller) recoverTenant(id, dir string) (*System, int, bool, error) {
 			if !found {
 				return fmt.Errorf("admission: unknown schedulability test %q in journal", e.Test)
 			}
-			sys = newSystem(id, e.Processors, test, c.cache, &c.stats, proberOrNil(c.engine))
+			sys = c.newTenant(id, e.Processors, test)
 			return nil
 		}
 		if sys == nil {
 			return fmt.Errorf("%w: %s event before create-system", ErrReplayDivergence, e.Kind)
 		}
-		switch e.Kind {
-		case mcsio.EventAdmit:
-			t, err := mcsio.TaskFromJSON(*e.Task)
-			if err != nil {
-				return err
-			}
-			if err := sys.replayAdmit(t, e.Core); err != nil {
-				return err
-			}
-			sys.admits++
-			atomic.AddUint64(&sys.ct.stats.admits, 1)
-		case mcsio.EventAdmitBatch:
-			for i, j := range e.Tasks {
-				t, err := mcsio.TaskFromJSON(j)
-				if err != nil {
-					return err
-				}
-				if err := sys.replayAdmit(t, e.Cores[i]); err != nil {
-					return err
-				}
-			}
-			sys.admits += uint64(len(e.Tasks))
-			atomic.AddUint64(&sys.ct.stats.admits, uint64(len(e.Tasks)))
-		case mcsio.EventRelease:
-			for _, tid := range e.TaskIDs {
-				if !sys.resident[tid] {
-					return fmt.Errorf("%w: release of non-resident task %d", ErrReplayDivergence, tid)
-				}
-				sys.asn.Remove(tid)
-				delete(sys.resident, tid)
-				sys.releases++
-				atomic.AddUint64(&sys.ct.stats.releases, 1)
-			}
-		default:
-			return fmt.Errorf("%w: unexpected event kind %q", ErrReplayDivergence, e.Kind)
-		}
-		return nil
+		return sys.applyEvent(e)
 	})
 	if err != nil {
 		return nil, 0, false, err
@@ -481,11 +436,94 @@ func (c *Controller) recoverTenant(id, dir string) (*System, int, bool, error) {
 	return sys, events, fromSnap, nil
 }
 
-// replayAdmit re-runs the UDP placement for a journaled admit and verifies
-// the decision matches the recorded core before committing it. The
+// systemFromSnapshot rebuilds a tenant from a snapshot payload by
+// re-committing the recorded partition core by core in recorded order: the
+// per-core aggregates accumulate in exactly the order the live assigner
+// built them, so the restored floats are bit-identical. The tenant's
+// lifetime admit/release counters are restored on the system; callers
+// reconcile the controller-wide counters (recovery adds them wholesale, a
+// replicated snapshot install adds only the delta over the state it
+// replaces).
+func (c *Controller) systemFromSnapshot(id string, payload []byte) (*System, error) {
+	snap, part, err := mcsio.DecodeSnapshot(payload)
+	if err != nil {
+		return nil, err
+	}
+	if snap.System != id {
+		return nil, fmt.Errorf("%w: snapshot names system %q", ErrReplayDivergence, snap.System)
+	}
+	if snap.Processors > MaxProcessors {
+		return nil, fmt.Errorf("%w: snapshot with %d processors", ErrReplayDivergence, snap.Processors)
+	}
+	test, found := c.cfg.Tests(snap.Test)
+	if !found {
+		return nil, fmt.Errorf("admission: unknown schedulability test %q in snapshot", snap.Test)
+	}
+	sys := c.newTenant(id, snap.Processors, test)
+	for k, coreSet := range part.Cores {
+		for _, t := range coreSet {
+			if sys.resident[t.ID] {
+				return nil, fmt.Errorf("%w: task %d twice in snapshot", ErrReplayDivergence, t.ID)
+			}
+			sys.asn.Commit(t, k)
+			sys.resident[t.ID] = true
+		}
+	}
+	sys.admits, sys.releases = snap.Admits, snap.Releases
+	return sys, nil
+}
+
+// applyEvent applies one already-journaled, decoded event through the
+// verified replay path, bumping the committed-transition counters exactly
+// as the live decision did. It is the shared apply step of recovery replay;
+// the replicated-apply path runs the same verification but interleaves the
+// local journal append as its commit point (applyReplicatedLocked). Caller
+// holds s.mu or exclusively owns an unpublished system.
+func (s *System) applyEvent(e mcsio.EventJSON) error {
+	switch e.Kind {
+	case mcsio.EventAdmit:
+		t, err := mcsio.TaskFromJSON(*e.Task)
+		if err != nil {
+			return err
+		}
+		if err := s.replayAdmit(t, e.Core); err != nil {
+			return err
+		}
+		s.admits++
+		atomic.AddUint64(&s.ct.stats.admits, 1)
+	case mcsio.EventAdmitBatch:
+		for i, j := range e.Tasks {
+			t, err := mcsio.TaskFromJSON(j)
+			if err != nil {
+				return err
+			}
+			if err := s.replayAdmit(t, e.Cores[i]); err != nil {
+				return err
+			}
+		}
+		s.admits += uint64(len(e.Tasks))
+		atomic.AddUint64(&s.ct.stats.admits, uint64(len(e.Tasks)))
+	case mcsio.EventRelease:
+		for _, tid := range e.TaskIDs {
+			if !s.resident[tid] {
+				return fmt.Errorf("%w: release of non-resident task %d", ErrReplayDivergence, tid)
+			}
+			s.asn.Remove(tid)
+			delete(s.resident, tid)
+			s.releases++
+			atomic.AddUint64(&s.ct.stats.releases, 1)
+		}
+	default:
+		return fmt.Errorf("%w: unexpected event kind %q", ErrReplayDivergence, e.Kind)
+	}
+	return nil
+}
+
+// verifyReplayedAdmit re-runs the UDP placement for a recorded admit and
+// checks the decision matches the recorded core, committing nothing. The
 // analyses it runs go through the shared verdict cache, so replay leaves
-// the cache warm for post-recovery traffic.
-func (s *System) replayAdmit(t mcs.Task, core int) error {
+// the cache warm for post-recovery (or post-promotion) traffic.
+func (s *System) verifyReplayedAdmit(t mcs.Task, core int) error {
 	if err := s.validateIncoming(t); err != nil {
 		return fmt.Errorf("%w: %v", ErrReplayDivergence, err)
 	}
@@ -494,7 +532,16 @@ func (s *System) replayAdmit(t mcs.Task, core int) error {
 		return fmt.Errorf("%w: task %d places on core %d, journal says %d",
 			ErrReplayDivergence, t.ID, res.Core, core)
 	}
-	s.commitPlaced(t, res.Core)
+	return nil
+}
+
+// replayAdmit verifies a journaled admit against the live placement and
+// commits it.
+func (s *System) replayAdmit(t mcs.Task, core int) error {
+	if err := s.verifyReplayedAdmit(t, core); err != nil {
+		return err
+	}
+	s.commitPlaced(t, core)
 	return nil
 }
 

@@ -10,9 +10,7 @@ package admission
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"mcsched/internal/core"
@@ -31,23 +29,9 @@ func resolveTest(name string) (core.Test, bool) {
 	return nil, false
 }
 
-// fingerprint renders a system's partition and per-core aggregates with
-// float64s at full bit precision, so two fingerprints are equal iff the
-// states are bit-identical.
-func fingerprint(sys *System) string {
-	sys.mu.Lock()
-	defer sys.mu.Unlock()
-	var b strings.Builder
-	for k := 0; k < sys.asn.NumCores(); k++ {
-		fmt.Fprintf(&b, "core%d[diff=%016x uhh=%016x]:",
-			k, math.Float64bits(sys.asn.UtilDiff(k)), math.Float64bits(sys.asn.UHH(k)))
-		for _, t := range sys.asn.Core(k) {
-			fmt.Fprintf(&b, " %d(%016x/%016x)", t.ID, math.Float64bits(t.ULo), math.Float64bits(t.UHi))
-		}
-		b.WriteString("\n")
-	}
-	return b.String()
-}
+// fingerprint is the suite's shorthand for the exported bit-precision
+// state oracle.
+func fingerprint(sys *System) string { return sys.Fingerprint() }
 
 // driveRandomWorkload applies a deterministic pseudo-random mix of admits,
 // probes, batches and releases to sys and returns the IDs still resident.

@@ -60,6 +60,9 @@ type BatchResult struct {
 
 // Stats is a point-in-time snapshot of the controller's counters.
 type Stats struct {
+	// Role is the replication role: "leader" (accepting writes) or
+	// "follower" (warm standby, writes rejected until promotion).
+	Role string `json:"role"`
 	// Systems and Tasks are gauges: current tenant count and total
 	// resident tasks across all tenants.
 	Systems int `json:"systems"`

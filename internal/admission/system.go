@@ -2,6 +2,8 @@ package admission
 
 import (
 	"fmt"
+	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +51,14 @@ type System struct {
 	// automatic snapshots (the event itself is already durable, so a
 	// failed snapshot is reported, not fatal).
 	snapFailures *atomic.Uint64
+
+	// follower points at the controller's replication role: while set, the
+	// system rejects committing writes with ErrFollower (probes and reads
+	// keep working). hooks points at the controller's replication hooks so
+	// committed appends can wake the log shipper. Both are nil in tests
+	// that build systems directly.
+	follower *atomic.Bool
+	hooks    *atomic.Pointer[Hooks]
 }
 
 // cachedTest adapts a core.Test with the controller's shared verdict cache
@@ -171,8 +181,41 @@ func newSystem(id string, m int, test core.Test, cache *verdictCache, stats *cou
 	}
 }
 
+// followerMode reports whether the owning controller currently rejects
+// writes as a warm-standby replica.
+func (s *System) followerMode() bool { return s.follower != nil && s.follower.Load() }
+
 // ID returns the tenant identifier.
 func (s *System) ID() string { return s.id }
+
+// Journal exposes the tenant's write-ahead log (nil without a data
+// directory). The log is internally synchronized; the replication shipper
+// reads committed records through its ReadFrom cursor.
+func (s *System) Journal() *journal.Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log
+}
+
+// Fingerprint renders the partition and the per-core float aggregates with
+// float64s at full bit precision: two fingerprints are equal iff the states
+// are bit-identical. It is the equivalence oracle of the replay-, crash-
+// and failover-equivalence suites, and a cheap way for operators to compare
+// a leader against a promoted follower.
+func (s *System) Fingerprint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	for k := 0; k < s.asn.NumCores(); k++ {
+		fmt.Fprintf(&b, "core%d[diff=%016x uhh=%016x]:",
+			k, math.Float64bits(s.asn.UtilDiff(k)), math.Float64bits(s.asn.UHH(k)))
+		for _, t := range s.asn.Core(k) {
+			fmt.Fprintf(&b, " %d(%016x/%016x)", t.ID, math.Float64bits(t.ULo), math.Float64bits(t.UHi))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
 
 // TestName returns the name of the schedulability test gating this system.
 func (s *System) TestName() string { return s.ct.inner.Name() }
@@ -259,6 +302,11 @@ func (s *System) Probe(t mcs.Task) (AdmitResult, error) {
 func (s *System) decide(t mcs.Task, commit bool) (AdmitResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if commit && s.followerMode() {
+		// A follower's state is owned by the replication stream; probes
+		// stay available so clients can ask "would this fit" on a replica.
+		return AdmitResult{TaskID: t.ID, Core: -1}, ErrFollower
+	}
 	if err := s.validateIncoming(t); err != nil {
 		return AdmitResult{TaskID: t.ID, Core: -1, Probed: !commit}, err
 	}
@@ -306,6 +354,9 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if commit && s.followerMode() {
+		return BatchResult{}, ErrFollower
+	}
 	seen := make(map[int]bool, len(ts))
 	for _, t := range ts {
 		if err := s.validateIncoming(t); err != nil {
@@ -389,6 +440,9 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 func (s *System) Release(ids ...int) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.followerMode() {
+		return 0, ErrFollower
+	}
 	unique := make([]int, 0, len(ids))
 	seen := make(map[int]bool, len(ids))
 	for _, id := range ids {

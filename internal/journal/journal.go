@@ -130,6 +130,7 @@ type Log struct {
 	snapPath   string // latest snapshot file; "" when none
 	snapSeq    uint64
 	closed     bool
+	subs       []chan struct{} // append-notification subscribers (tail.go)
 
 	nRecords, nBytes, nFsyncs, nSnapshots, nTruncated uint64
 }
@@ -285,6 +286,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.nextSeq++
 	l.nRecords++
 	l.nBytes += uint64(len(frame))
+	l.notifyLocked()
 	return seq, nil
 }
 
@@ -508,6 +510,15 @@ func (l *Log) WriteSnapshot(payload []byte, seq uint64) error {
 	if seq == 0 || seq != l.nextSeq-1 {
 		return fmt.Errorf("journal: snapshot seq %d does not cover log tail %d", seq, l.nextSeq-1)
 	}
+	return l.writeSnapshotFileLocked(payload, seq)
+}
+
+// writeSnapshotFileLocked durably writes a snapshot covering 1..seq and
+// truncates every segment — the shared tail of WriteSnapshot (which demands
+// the snapshot match the log tail) and InstallSnapshot (which may move the
+// tail forward to adopt a replicated snapshot). Caller holds l.mu and has
+// validated seq.
+func (l *Log) writeSnapshotFileLocked(payload []byte, seq uint64) error {
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}

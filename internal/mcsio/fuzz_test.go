@@ -86,6 +86,82 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	})
 }
 
+func FuzzDecodeReplFrame(f *testing.F) {
+	for _, fr := range validReplFrames(f) {
+		b, err := EncodeReplFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// Adversarial seeds: the forms a torn or tampered replication stream
+	// actually takes — truncation, reordering, gap, smuggled fields.
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"v":1,"kind":"records","tenant":"s1","first":2,"records":[{"v":1,"seq":1,"kind":"release","task_ids":[1]}]}`))
+	f.Add([]byte(`{"v":1,"kind":"records","tenant":"s1","first":1,"records":[{"v":1,"seq":2,"kind":"release","task_ids":[1]},{"v":1,"seq":1,"kind":"release","task_ids":[2]}]}`))
+	f.Add([]byte(`{"v":1,"kind":"snapshot","tenant":"s1","seq":3,"snapshot":{"v":1,"seq":4,"system":"s1","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]}}}`))
+	f.Add([]byte(`{"v":1,"kind":"remove","tenant":"s1","seq":9}`))
+	f.Add([]byte(`{"v":2,"kind":"remove","tenant":"s1"}`))
+	f.Add([]byte(`{"v":1,"kind":"records","tenant":"s1","first":1,"records":[`))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := DecodeReplFrame(b)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// Accepted frames must reach a canonical fixpoint.
+		b2, err := EncodeReplFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %+v: %v", fr, err)
+		}
+		fr2, err := DecodeReplFrame(b2)
+		if err != nil {
+			t.Fatalf("canonical frame does not decode: %s: %v", b2, err)
+		}
+		b3, err := EncodeReplFrame(fr2)
+		if err != nil {
+			t.Fatalf("canonical re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b2, b3) {
+			t.Fatalf("frame encoding not canonical:\n%s\n%s", b2, b3)
+		}
+		// Every record a records frame smuggles through must itself be a
+		// valid, correctly numbered event.
+		for i, rec := range fr.Records {
+			e, err := DecodeEvent(rec)
+			if err != nil {
+				t.Fatalf("accepted frame carries invalid record %d: %v", i, err)
+			}
+			if e.Seq != fr.First+uint64(i) {
+				t.Fatalf("accepted frame carries out-of-order record %d (seq %d)", i, e.Seq)
+			}
+		}
+	})
+}
+
+func FuzzDecodeReplAck(f *testing.F) {
+	f.Add([]byte(`{"v":1,"tenant":"s1","next":7}`))
+	f.Add([]byte(`{"v":1,"tenant":"s1","next":0}`))
+	f.Add([]byte(`{"v":1,"tenant":"s1","next":18446744073709551615}`))
+	f.Add([]byte(`{"v":1,"role":"follower","tenants":{"a":1}}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if a, err := DecodeReplAck(b); err == nil {
+			if a.Next == 0 || a.Tenant == "" {
+				t.Fatalf("accepted invalid ack: %+v", a)
+			}
+		}
+		if s, err := DecodeReplStatus(b); err == nil {
+			for id, next := range s.Tenants {
+				if id == "" || next == 0 {
+					t.Fatalf("accepted invalid status: %+v", s)
+				}
+			}
+		}
+	})
+}
+
 func FuzzReadTaskSet(f *testing.F) {
 	var buf bytes.Buffer
 	ts := mcs.TaskSet{mcs.NewHC(1, 2, 4, 10), mcs.NewLC(2, 3, 12)}

@@ -1,0 +1,194 @@
+package mcsio
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// validReplFrames builds one well-formed frame of each kind from the valid
+// event fixtures.
+func validReplFrames(t testing.TB) []ReplFrameJSON {
+	events := validEvents()
+	var recs []json.RawMessage
+	for _, e := range events {
+		b, err := EncodeEvent(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, b)
+	}
+	snapBytes, err := EncodeSnapshot(SnapshotJSON{
+		Version: 1, Seq: 4, System: "s1", Processors: 1, Test: "EDF-VD",
+		Partition: PartitionJSON{Version: 1, Cores: [][]int{{}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ReplFrameJSON{
+		{Version: 1, Kind: ReplRecords, Tenant: "s1", First: 1, Records: recs},
+		{Version: 1, Kind: ReplSnapshot, Tenant: "s1", Seq: 4, Snapshot: snapBytes},
+		{Version: 1, Kind: ReplRemove, Tenant: "s1"},
+	}
+}
+
+func TestReplFrameRoundTrip(t *testing.T) {
+	for _, f := range validReplFrames(t) {
+		b, err := EncodeReplFrame(f)
+		if err != nil {
+			t.Fatalf("encode %s frame: %v", f.Kind, err)
+		}
+		got, err := DecodeReplFrame(b)
+		if err != nil {
+			t.Fatalf("decode %s frame: %v", f.Kind, err)
+		}
+		b2, err := EncodeReplFrame(got)
+		if err != nil {
+			t.Fatalf("re-encode %s frame: %v", f.Kind, err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("%s frame encoding not canonical:\n%s\n%s", f.Kind, b, b2)
+		}
+	}
+}
+
+// TestReplFrameFailsClosed enumerates the attack shapes a follower must
+// refuse: reordered batches, gapped batches, cross-kind field smuggling,
+// version skew, tenant mismatches and torn payloads.
+func TestReplFrameFailsClosed(t *testing.T) {
+	frames := validReplFrames(t)
+	records, snapshot := frames[0], frames[1]
+
+	t.Run("reordered batch", func(t *testing.T) {
+		f := records
+		f.Records = append([]json.RawMessage(nil), records.Records...)
+		f.Records[1], f.Records[2] = f.Records[2], f.Records[1]
+		if _, err := EncodeReplFrame(f); err == nil {
+			t.Fatal("reordered batch encoded")
+		}
+		// And the raw-bytes path: swap inside a hand-built body.
+		b, _ := json.Marshal(f)
+		if _, err := DecodeReplFrame(b); err == nil || !strings.Contains(err.Error(), "reordered") {
+			t.Fatalf("reordered batch decoded: %v", err)
+		}
+	})
+	t.Run("gapped batch", func(t *testing.T) {
+		f := records
+		f.Records = []json.RawMessage{records.Records[0], records.Records[2]}
+		b, _ := json.Marshal(f)
+		if _, err := DecodeReplFrame(b); err == nil {
+			t.Fatal("gapped batch decoded")
+		}
+	})
+	t.Run("first mismatch", func(t *testing.T) {
+		f := records
+		f.First = 2
+		b, _ := json.Marshal(f)
+		if _, err := DecodeReplFrame(b); err == nil {
+			t.Fatal("batch whose records do not start at first decoded")
+		}
+	})
+	t.Run("record not an event", func(t *testing.T) {
+		f := records
+		f.Records = []json.RawMessage{json.RawMessage(`{"garbage":true}`)}
+		b, _ := json.Marshal(f)
+		if _, err := DecodeReplFrame(b); err == nil {
+			t.Fatal("non-event record decoded")
+		}
+	})
+	t.Run("snapshot tenant mismatch", func(t *testing.T) {
+		f := snapshot
+		f.Tenant = "other"
+		b, _ := json.Marshal(f)
+		if _, err := DecodeReplFrame(b); err == nil {
+			t.Fatal("snapshot for the wrong tenant decoded")
+		}
+	})
+	t.Run("snapshot seq mismatch", func(t *testing.T) {
+		f := snapshot
+		f.Seq = 9
+		b, _ := json.Marshal(f)
+		if _, err := DecodeReplFrame(b); err == nil {
+			t.Fatal("snapshot frame with mismatched seq decoded")
+		}
+	})
+	t.Run("kind smuggling", func(t *testing.T) {
+		f := frames[2] // remove
+		f.Seq = 3
+		b, _ := json.Marshal(f)
+		if _, err := DecodeReplFrame(b); err == nil {
+			t.Fatal("remove frame with snapshot fields decoded")
+		}
+	})
+	t.Run("version skew", func(t *testing.T) {
+		f := records
+		f.Version = ReplFormatVersion + 1
+		b, _ := json.Marshal(f)
+		if _, err := DecodeReplFrame(b); err == nil {
+			t.Fatal("future-version frame decoded")
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		if _, err := DecodeReplFrame([]byte(`{"v":1,"kind":"truncate","tenant":"s1"}`)); err == nil {
+			t.Fatal("unknown kind decoded")
+		}
+	})
+	t.Run("unknown field", func(t *testing.T) {
+		if _, err := DecodeReplFrame([]byte(`{"v":1,"kind":"remove","tenant":"s1","extra":1}`)); err == nil {
+			t.Fatal("unknown field decoded")
+		}
+	})
+	t.Run("torn body", func(t *testing.T) {
+		b, err := EncodeReplFrame(records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeReplFrame(b[:len(b)/2]); err == nil {
+			t.Fatal("torn frame decoded")
+		}
+	})
+	t.Run("empty tenant", func(t *testing.T) {
+		if _, err := DecodeReplFrame([]byte(`{"v":1,"kind":"remove","tenant":""}`)); err == nil {
+			t.Fatal("empty tenant decoded")
+		}
+	})
+}
+
+func TestReplAckStatusRoundTrip(t *testing.T) {
+	b, err := EncodeReplAck(ReplAckJSON{Version: 1, Tenant: "s1", Next: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := DecodeReplAck(b)
+	if err != nil || a.Next != 42 || a.Tenant != "s1" {
+		t.Fatalf("ack round trip: %+v, %v", a, err)
+	}
+	for _, bad := range []string{
+		`{"v":1,"tenant":"s1","next":0}`,
+		`{"v":1,"tenant":"","next":1}`,
+		`{"v":2,"tenant":"s1","next":1}`,
+		`{"v":1,"tenant":"s1","next":1,"x":1}`,
+	} {
+		if _, err := DecodeReplAck([]byte(bad)); err == nil {
+			t.Fatalf("bad ack decoded: %s", bad)
+		}
+	}
+
+	sb, err := EncodeReplStatus(ReplStatusJSON{Version: 1, Role: RoleFollower, Tenants: map[string]uint64{"a": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeReplStatus(sb)
+	if err != nil || s.Role != RoleFollower || s.Tenants["a"] != 3 {
+		t.Fatalf("status round trip: %+v, %v", s, err)
+	}
+	for _, bad := range []string{
+		`{"v":1,"role":"primary","tenants":{}}`,
+		`{"v":1,"role":"follower","tenants":{"a":0}}`,
+		`{"v":1,"role":"follower","tenants":{"":1}}`,
+	} {
+		if _, err := DecodeReplStatus([]byte(bad)); err == nil {
+			t.Fatalf("bad status decoded: %s", bad)
+		}
+	}
+}

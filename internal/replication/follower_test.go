@@ -1,0 +1,427 @@
+package replication
+
+// Follower fail-closed suite: torn streams, reordered batches, gapped
+// cursors, tampered records and role conflicts must all be refused without
+// touching the replica's durable state — plus the promotion and
+// write-gating contracts of a warm standby.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mcsched/internal/admission"
+	"mcsched/internal/mcs"
+	"mcsched/internal/mcsio"
+)
+
+// buildLeaderHistory creates a leader with one tenant and a few committed
+// events, returning the controller and the tenant's raw journal records.
+func buildLeaderHistory(t *testing.T, n int) (*admission.Controller, [][]byte) {
+	t.Helper()
+	leader := admission.NewController(leaderConfig(t.TempDir(), -1))
+	if _, err := leader.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := leader.CreateSystem("t", 2, allTests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sys.Admit(mcs.NewLC(i, 1, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { leader.Close() })
+	recs, _, err := sys.Journal().ReadFrom(1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leader, recs
+}
+
+// postFrame sends raw bytes to the follower's frame endpoint.
+func postFrame(t *testing.T, srv *httptest.Server, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+FramePath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func recordsFrame(t *testing.T, tenant string, first uint64, recs [][]byte) []byte {
+	t.Helper()
+	raw := make([]json.RawMessage, len(recs))
+	for i, r := range recs {
+		raw[i] = r
+	}
+	b, err := json.Marshal(mcsio.ReplFrameJSON{
+		Version: 1, Kind: mcsio.ReplRecords, Tenant: tenant, First: first, Records: raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFollowerFailClosed(t *testing.T) {
+	_, recs := buildLeaderHistory(t, 4)
+	fctrl, recv, srv := newFollower(t, t.TempDir())
+
+	// Seed the follower with the valid prefix: create + 2 admits.
+	if st, body := postFrame(t, srv, recordsFrame(t, "t", 1, recs[:3])); st != http.StatusOK {
+		t.Fatalf("valid prefix refused: %d %s", st, body)
+	}
+	base := fingerprintOf(fctrl, "t")
+	baseNext := fctrl.TenantNext("t")
+	if baseNext != 4 {
+		t.Fatalf("follower at %d after 3 records, want 4", baseNext)
+	}
+
+	unchanged := func(t *testing.T, when string) {
+		t.Helper()
+		if got := fingerprintOf(fctrl, "t"); got != base {
+			t.Fatalf("%s mutated follower state:\n%s\n%s", when, base, got)
+		}
+		if got := fctrl.TenantNext("t"); got != baseNext {
+			t.Fatalf("%s moved the journal tail to %d", when, got)
+		}
+	}
+
+	t.Run("torn stream", func(t *testing.T) {
+		full := recordsFrame(t, "t", 4, recs[3:])
+		st, _ := postFrame(t, srv, full[:len(full)-7])
+		if st != http.StatusBadRequest {
+			t.Fatalf("torn frame: status %d, want 400", st)
+		}
+		unchanged(t, "torn frame")
+	})
+	t.Run("reordered batch", func(t *testing.T) {
+		// Re-stamp two otherwise-valid records in swapped order.
+		swapped := [][]byte{recs[3], recs[2]}
+		st, body := postFrame(t, srv, recordsFrame(t, "t", 3, swapped))
+		if st != http.StatusBadRequest {
+			t.Fatalf("reordered batch: status %d (%s), want 400", st, body)
+		}
+		unchanged(t, "reordered batch")
+	})
+	t.Run("gap beyond tail", func(t *testing.T) {
+		st, body := postFrame(t, srv, recordsFrame(t, "t", 5, recs[4:]))
+		if st != http.StatusConflict {
+			t.Fatalf("gapped frame: status %d, want 409", st)
+		}
+		ack, err := mcsio.DecodeReplAck(body)
+		if err != nil || ack.Next != baseNext {
+			t.Fatalf("gap ack: %+v, %v — want next %d", ack, err, baseNext)
+		}
+		unchanged(t, "gapped frame")
+	})
+	t.Run("unknown tenant mid-stream", func(t *testing.T) {
+		st, body := postFrame(t, srv, recordsFrame(t, "ghost", 4, recs[3:4]))
+		if st != http.StatusConflict {
+			t.Fatalf("unknown-tenant frame: status %d, want 409", st)
+		}
+		ack, err := mcsio.DecodeReplAck(body)
+		if err != nil || ack.Next != 1 {
+			t.Fatalf("unknown-tenant ack: %+v, %v — want next 1", ack, err)
+		}
+	})
+	t.Run("tampered record", func(t *testing.T) {
+		// A well-formed admit whose recorded core contradicts the
+		// placement: verification must refuse it before the local append.
+		var e mcsio.EventJSON
+		if err := json.Unmarshal(recs[3], &e); err != nil {
+			t.Fatal(err)
+		}
+		e.Core++ // divergent core claim
+		forged, err := mcsio.EncodeEvent(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, body := postFrame(t, srv, recordsFrame(t, "t", 4, [][]byte{forged}))
+		if st != http.StatusBadRequest {
+			t.Fatalf("tampered record: status %d (%s), want 400", st, body)
+		}
+		unchanged(t, "tampered record")
+	})
+	t.Run("redelivery is idempotent", func(t *testing.T) {
+		st, body := postFrame(t, srv, recordsFrame(t, "t", 1, recs[:3]))
+		if st != http.StatusOK {
+			t.Fatalf("redelivery refused: %d %s", st, body)
+		}
+		ack, err := mcsio.DecodeReplAck(body)
+		if err != nil || ack.Next != baseNext {
+			t.Fatalf("redelivery ack: %+v, %v", ack, err)
+		}
+		unchanged(t, "redelivery")
+	})
+	t.Run("overlap applies the suffix", func(t *testing.T) {
+		st, body := postFrame(t, srv, recordsFrame(t, "t", 2, recs[1:]))
+		if st != http.StatusOK {
+			t.Fatalf("overlapping frame refused: %d %s", st, body)
+		}
+		if got := fctrl.TenantNext("t"); got != uint64(len(recs))+1 {
+			t.Fatalf("after overlap: next %d, want %d", got, len(recs)+1)
+		}
+	})
+	if recv.Applied().RejectedFrames == 0 {
+		t.Fatal("receiver counted no rejected frames")
+	}
+}
+
+func TestFollowerRejectsWritesUntilPromoted(t *testing.T) {
+	_, recs := buildLeaderHistory(t, 3)
+	fctrl, _, srv := newFollower(t, t.TempDir())
+	if st, body := postFrame(t, srv, recordsFrame(t, "t", 1, recs)); st != http.StatusOK {
+		t.Fatalf("seed frame refused: %d %s", st, body)
+	}
+
+	// Controller-level writes are fenced.
+	if _, err := fctrl.CreateSystem("new", 2, allTests()[0]); !errors.Is(err, admission.ErrFollower) {
+		t.Fatalf("follower CreateSystem: %v, want ErrFollower", err)
+	}
+	if err := fctrl.RemoveSystem("t"); !errors.Is(err, admission.ErrFollower) {
+		t.Fatalf("follower RemoveSystem: %v, want ErrFollower", err)
+	}
+	sys, err := fctrl.System("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Admit(mcs.NewLC(99, 1, 1000)); !errors.Is(err, admission.ErrFollower) {
+		t.Fatalf("follower Admit: %v, want ErrFollower", err)
+	}
+	if _, err := sys.AdmitBatch(mcs.TaskSet{mcs.NewLC(99, 1, 1000)}); !errors.Is(err, admission.ErrFollower) {
+		t.Fatalf("follower AdmitBatch: %v, want ErrFollower", err)
+	}
+	if _, err := sys.Release(0); !errors.Is(err, admission.ErrFollower) {
+		t.Fatalf("follower Release: %v, want ErrFollower", err)
+	}
+	// Reads and probes keep working on a standby.
+	if res, err := sys.Probe(mcs.NewLC(99, 1, 1000)); err != nil || !res.Admitted {
+		t.Fatalf("follower Probe: %+v, %v", res, err)
+	}
+	if sys.NumTasks() != 3 {
+		t.Fatalf("follower holds %d tasks, want 3", sys.NumTasks())
+	}
+
+	promote(t, srv)
+	if _, err := sys.Admit(mcs.NewLC(99, 1, 1000)); err != nil {
+		t.Fatalf("promoted Admit: %v", err)
+	}
+	if _, err := sys.Release(99); err != nil {
+		t.Fatalf("promoted Release: %v", err)
+	}
+}
+
+func TestPromoteIdempotentAndFencing(t *testing.T) {
+	_, recs := buildLeaderHistory(t, 2)
+	fctrl, _, srv := newFollower(t, t.TempDir())
+	if st, _ := postFrame(t, srv, recordsFrame(t, "t", 1, recs)); st != http.StatusOK {
+		t.Fatal("seed frame refused")
+	}
+
+	promoteOnce := func() PromoteResponse {
+		resp, err := http.Post(srv.URL+"/v1/promote", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var pr PromoteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	if pr := promoteOnce(); !pr.Promoted || pr.Role != "leader" {
+		t.Fatalf("first promote: %+v", pr)
+	}
+	if pr := promoteOnce(); pr.Promoted || pr.Role != "leader" {
+		t.Fatalf("second promote not idempotent: %+v", pr)
+	}
+
+	// A stale leader keeps shipping: the promoted node must fence off even
+	// a wire-valid frame it would previously have skipped idempotently.
+	st, body := postFrame(t, srv, recordsFrame(t, "t", 1, recs))
+	if st != http.StatusConflict {
+		t.Fatalf("frame after promotion: status %d (%s), want 409", st, body)
+	}
+	if next := fctrl.TenantNext("t"); next != uint64(len(recs))+1 {
+		t.Fatalf("fenced frame moved the tail to %d", next)
+	}
+	// The status document reports the new role.
+	resp, err := http.Get(srv.URL + StatusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	status, err := mcsio.DecodeReplStatus(b)
+	if err != nil || status.Role != mcsio.RoleLeader {
+		t.Fatalf("post-promotion status: %+v, %v", status, err)
+	}
+	if status.Tenants["t"] == 0 {
+		t.Fatal("status lost the tenant position")
+	}
+}
+
+// TestShipperResyncAfterLeaderRestart: a restarted leader (fresh shipper,
+// no cursors) against a follower that already holds a prefix must converge
+// through the status prime + idempotent redelivery, not duplicate state.
+func TestShipperResyncAfterLeaderRestart(t *testing.T) {
+	dir := t.TempDir()
+	leader := admission.NewController(leaderConfig(dir, -1))
+	if _, err := leader.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := leader.CreateSystem("t", 2, allTests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctrl, _, srv := newFollower(t, t.TempDir())
+	ship := connect(t, leader, srv.URL)
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Admit(mcs.NewLC(i, 1, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flush(t, ship)
+	ship.Stop()
+	leader.Close()
+
+	// Second leader generation over the same data dir.
+	leader2 := admission.NewController(leaderConfig(dir, -1))
+	if _, err := leader2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer leader2.Close()
+	sys2, err := leader2.System("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship2 := connect(t, leader2, srv.URL)
+	for i := 5; i < 8; i++ {
+		if _, err := sys2.Admit(mcs.NewLC(i, 1, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flush(t, ship2)
+	if got := fingerprintOf(fctrl, "t"); got != sys2.Fingerprint() {
+		t.Fatalf("follower diverged after leader restart:\n%s\n%s", sys2.Fingerprint(), got)
+	}
+	st := ship2.Status()
+	if len(st) != 1 || st[0].Tenants["t"].Lag != 0 {
+		t.Fatalf("post-restart lag not zero: %+v", st)
+	}
+}
+
+// TestFollowerRestartResumes: a follower restarted from its own data dir
+// recovers the replica and keeps applying from where it stopped.
+func TestFollowerRestartResumes(t *testing.T) {
+	leader, recs := buildLeaderHistory(t, 4)
+	fdir := t.TempDir()
+	fctrl, _, srv := newFollower(t, fdir)
+	if st, _ := postFrame(t, srv, recordsFrame(t, "t", 1, recs[:3])); st != http.StatusOK {
+		t.Fatal("seed frame refused")
+	}
+	srv.Close()
+	if err := fctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fctrl2, _, srv2 := newFollower(t, fdir)
+	if got := fctrl2.TenantNext("t"); got != 4 {
+		t.Fatalf("restarted follower at %d, want 4", got)
+	}
+	if st, body := postFrame(t, srv2, recordsFrame(t, "t", 4, recs[3:])); st != http.StatusOK {
+		t.Fatalf("resume frame refused: %d %s", st, body)
+	}
+	lsys, err := leader.System("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprintOf(fctrl2, "t"); got != lsys.Fingerprint() {
+		t.Fatalf("restarted follower diverged:\n%s\n%s", lsys.Fingerprint(), got)
+	}
+}
+
+// TestReceiverRequiresJournaledFollower: an in-memory controller cannot be
+// a follower target.
+func TestReceiverRequiresJournaledFollower(t *testing.T) {
+	cfg := admission.DefaultConfig()
+	cfg.Follower = true
+	cfg.Tests = resolveTest
+	ctrl := admission.NewController(cfg) // no DataDir
+	if _, _, err := ctrl.ApplyReplicatedRecords("t", 1, [][]byte{[]byte("{}")}); err == nil {
+		t.Fatal("memory-only follower accepted records")
+	}
+	if _, err := NewShipper(ctrl, []string{"http://x"}, ShipperConfig{}); err == nil {
+		t.Fatal("shipper accepted an unjournaled controller")
+	}
+	if _, err := NewShipper(admission.NewController(leaderConfig(t.TempDir(), 0)), nil, ShipperConfig{}); err == nil {
+		t.Fatal("shipper accepted zero followers")
+	}
+	if _, err := NewShipper(admission.NewController(leaderConfig(t.TempDir(), 0)), []string{"not a url"}, ShipperConfig{}); err == nil {
+		t.Fatal("shipper accepted a relative follower URL")
+	}
+}
+
+// TestShipperSurvivesFollowerOutage: frames failing mid-stream retry with
+// backoff and the follower converges once it returns.
+func TestShipperSurvivesFollowerOutage(t *testing.T) {
+	leader := admission.NewController(leaderConfig(t.TempDir(), -1))
+	if _, err := leader.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+
+	fctrl, recv, _ := newFollower(t, t.TempDir())
+	_ = fctrl
+	// A flaky proxy: refuses the first two frame deliveries outright.
+	fails := 2
+	mux := recv.Mux()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == FramePath && fails > 0 {
+			fails--
+			http.Error(w, "injected outage", http.StatusBadGateway)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	ship := connect(t, leader, proxy.URL)
+	sys, err := leader.CreateSystem("t", 2, allTests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sys.Admit(mcs.NewLC(i, 1, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flush(t, ship)
+	if fails != 0 {
+		t.Fatalf("outage not exercised: %d injected failures left", fails)
+	}
+	if got := fingerprintOf(fctrl, "t"); got != sys.Fingerprint() {
+		t.Fatalf("follower diverged after outage:\n%s\n%s", sys.Fingerprint(), got)
+	}
+	st := ship.Status()
+	if len(st) != 1 || st[0].SendErrors == 0 {
+		t.Fatalf("status did not count send errors: %+v", st)
+	}
+	if fmt.Sprint(st[0].Tenants["t"].Lag) != "0" {
+		t.Fatalf("lag not zero after convergence: %+v", st[0].Tenants)
+	}
+}

@@ -1,0 +1,214 @@
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"mcsched/internal/admission"
+	"mcsched/internal/journal"
+	"mcsched/internal/mcsio"
+)
+
+// maxFrameBody bounds one frame body: a snapshot payload is capped by the
+// journal's record limit, plus framing slack.
+const maxFrameBody = journal.MaxRecord + (1 << 20)
+
+// Receiver is the follower side of journal replication: the HTTP face
+// through which a warm-standby controller accepts frames from the leader.
+// It owns no replication state of its own — sequencing, idempotency and
+// verification all live in the admission layer's ApplyReplicated* methods —
+// so it only decodes strictly, dispatches and counts.
+type Receiver struct {
+	ctrl *admission.Controller
+
+	appliedRecords, appliedSnapshots, appliedRemoves, rejectedFrames atomic.Uint64
+}
+
+// NewReceiver wraps a controller (normally one started with
+// Config.Follower) with the replication protocol handlers.
+func NewReceiver(ctrl *admission.Controller) *Receiver {
+	return &Receiver{ctrl: ctrl}
+}
+
+// AppliedStats counts the receiver's frame traffic.
+type AppliedStats struct {
+	// Records, Snapshots and Removes count successfully applied units
+	// (records individually, frames for the other kinds).
+	Records   uint64 `json:"records"`
+	Snapshots uint64 `json:"snapshots"`
+	Removes   uint64 `json:"removes,omitempty"`
+	// RejectedFrames counts frames refused fail-closed (bad wire bytes,
+	// sequence conflicts, divergence, wrong role).
+	RejectedFrames uint64 `json:"rejected_frames,omitempty"`
+}
+
+// Applied snapshots the receiver counters.
+func (r *Receiver) Applied() AppliedStats {
+	return AppliedStats{
+		Records:        r.appliedRecords.Load(),
+		Snapshots:      r.appliedSnapshots.Load(),
+		Removes:        r.appliedRemoves.Load(),
+		RejectedFrames: r.rejectedFrames.Load(),
+	}
+}
+
+// Status builds the position document served at StatusPath: the
+// controller's role and every tenant's next expected sequence.
+func (r *Receiver) Status() mcsio.ReplStatusJSON {
+	return mcsio.ReplStatusJSON{
+		Version: mcsio.ReplFormatVersion,
+		Role:    admission.RoleName(r.ctrl.IsFollower()),
+		Tenants: r.ctrl.ReplicationProgress(),
+	}
+}
+
+// Mux returns a standalone handler exposing the replication protocol
+// (frame apply, status, promote) — what the replication tests serve and
+// the shape mcschedd mounts into its service mux.
+func (r *Receiver) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+FramePath, r.HandleFrame)
+	mux.HandleFunc("GET "+StatusPath, r.HandleStatus)
+	mux.HandleFunc("POST /v1/promote", r.HandlePromote)
+	return mux
+}
+
+// HandleFrame applies one replication frame. Responses:
+//
+//	200 + ack     frame applied (or idempotently skipped); Next is the
+//	              follower's next expected sequence
+//	409 + ack     sequence conflict; the leader resyncs its cursor to Next
+//	409 + error   receiver is not a follower (stale leader fencing)
+//	400 + error   frame failed strict decoding or verification — fail
+//	              closed, nothing applied beyond the valid prefix
+//	503 + error   local journal I/O failure; retryable
+func (r *Receiver) HandleFrame(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxFrameBody))
+	if err != nil {
+		r.reject(w, http.StatusBadRequest, err)
+		return
+	}
+	f, err := mcsio.DecodeReplFrame(body)
+	if err != nil {
+		r.reject(w, http.StatusBadRequest, err)
+		return
+	}
+	switch f.Kind {
+	case mcsio.ReplRecords:
+		recs := make([][]byte, len(f.Records))
+		for i, m := range f.Records {
+			recs[i] = m
+		}
+		next, applied, err := r.ctrl.ApplyReplicatedRecords(f.Tenant, f.First, recs)
+		if err != nil {
+			r.frameError(w, f.Tenant, next, err)
+			return
+		}
+		// Count only records actually applied: redelivered prefixes a
+		// leader retried are skipped idempotently and must not inflate the
+		// counter operators compare against the leader's tail.
+		r.appliedRecords.Add(uint64(applied))
+		r.ack(w, f.Tenant, next)
+	case mcsio.ReplSnapshot:
+		next, err := r.ctrl.ApplyReplicatedSnapshot(f.Tenant, f.Seq, f.Snapshot)
+		if err != nil {
+			r.frameError(w, f.Tenant, next, err)
+			return
+		}
+		r.appliedSnapshots.Add(1)
+		r.ack(w, f.Tenant, next)
+	case mcsio.ReplRemove:
+		if err := r.ctrl.ApplyReplicatedRemove(f.Tenant); err != nil {
+			r.frameError(w, f.Tenant, 1, err)
+			return
+		}
+		r.appliedRemoves.Add(1)
+		r.ack(w, f.Tenant, 1)
+	}
+}
+
+// HandleStatus serves the follower's position document.
+func (r *Receiver) HandleStatus(w http.ResponseWriter, _ *http.Request) {
+	b, err := mcsio.EncodeReplStatus(r.Status())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// PromoteResponse answers POST /v1/promote.
+type PromoteResponse struct {
+	Role string `json:"role"`
+	// Promoted is true when this call performed the promotion and false
+	// when the controller already led (idempotent repeat).
+	Promoted bool `json:"promoted"`
+}
+
+// HandlePromote flips the follower writable. Idempotent: promoting a
+// leader answers 200 with Promoted=false.
+func (r *Receiver) HandlePromote(w http.ResponseWriter, _ *http.Request) {
+	promoted := r.ctrl.Promote()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(PromoteResponse{
+		Role:     admission.RoleName(r.ctrl.IsFollower()),
+		Promoted: promoted,
+	})
+}
+
+// frameError maps an apply failure to the protocol's response shapes.
+func (r *Receiver) frameError(w http.ResponseWriter, tenant string, next uint64, err error) {
+	switch {
+	case errors.Is(err, admission.ErrReplicationGap):
+		// A conflict ack carries the resync position instead of an error
+		// body, so the shipper can self-heal without operator action.
+		r.rejectedFrames.Add(1)
+		if next == 0 {
+			next = 1
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		if b, encErr := mcsio.EncodeReplAck(mcsio.ReplAckJSON{Tenant: tenant, Next: next}); encErr == nil {
+			w.Write(b)
+		}
+	case errors.Is(err, admission.ErrNotFollower):
+		r.reject(w, http.StatusConflict, err)
+	case errors.Is(err, admission.ErrJournalIO):
+		r.reject(w, http.StatusServiceUnavailable, err)
+	default:
+		r.reject(w, http.StatusBadRequest, err)
+	}
+}
+
+func (r *Receiver) ack(w http.ResponseWriter, tenant string, next uint64) {
+	b, err := mcsio.EncodeReplAck(mcsio.ReplAckJSON{Tenant: tenant, Next: next})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (r *Receiver) reject(w http.ResponseWriter, status int, err error) {
+	r.rejectedFrames.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// Status is the composite document mcschedd serves at /v1/replication and
+// embeds in /v1/stats: the role plus whichever side's detail applies.
+type Status struct {
+	Role string `json:"role"`
+	// Followers is the leader-side shipping view (one entry per follower).
+	Followers []FollowerStatus `json:"followers,omitempty"`
+	// Tenants and Applied are the follower-side view: per-tenant next
+	// expected sequences and frame counters.
+	Tenants map[string]uint64 `json:"tenants,omitempty"`
+	Applied *AppliedStats     `json:"applied,omitempty"`
+}

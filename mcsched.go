@@ -14,6 +14,7 @@ import (
 	"mcsched/internal/core"
 	"mcsched/internal/mcs"
 	"mcsched/internal/mcsio"
+	"mcsched/internal/replication"
 	"mcsched/internal/taskgen"
 )
 
@@ -320,6 +321,57 @@ func RecoverAdmissionController(cfg AdmissionConfig) (*AdmissionController, Admi
 // DefaultAdmissionConfig returns the production defaults (16 stripes, 4096
 // cached verdicts, journaling off).
 func DefaultAdmissionConfig() AdmissionConfig { return admission.DefaultConfig() }
+
+// ---------------------------------------------------------------------------
+// Journal replication (warm-standby followers)
+// ---------------------------------------------------------------------------
+
+// ReplicationShipper is the leader side of journal replication: it streams
+// committed journal records (and snapshots, for catch-up) to warm-standby
+// followers over HTTP. Register its Hooks on the controller, Start it, and
+// Flush+Stop it on shutdown.
+type ReplicationShipper = replication.Shipper
+
+// ReplicationShipperConfig tunes batching, retry backoff and the HTTP
+// client of a ReplicationShipper.
+type ReplicationShipperConfig = replication.ShipperConfig
+
+// ReplicationReceiver is the follower side: HTTP handlers that apply
+// leader frames through the verified replay path on a controller started
+// with AdmissionConfig.Follower.
+type ReplicationReceiver = replication.Receiver
+
+// ReplicationStatus is the composite role/lag document exposed by the
+// daemon's /v1/replication and /v1/stats endpoints.
+type ReplicationStatus = replication.Status
+
+// ReplicationFollowerStatus is the shipper's per-follower lag view.
+type ReplicationFollowerStatus = replication.FollowerStatus
+
+// Replication sentinel errors.
+var (
+	// ErrFollower rejects writes on a warm-standby controller; promote it
+	// (AdmissionController.Promote) to accept traffic.
+	ErrFollower = admission.ErrFollower
+	// ErrNotFollower rejects replicated applies on a leader, fencing off a
+	// stale leader after promotion.
+	ErrNotFollower = admission.ErrNotFollower
+	// ErrReplicationGap reports a replicated record beyond the follower's
+	// local tail; the shipper resynchronizes from the acknowledgement.
+	ErrReplicationGap = admission.ErrReplicationGap
+)
+
+// NewReplicationShipper wires a shipper from a journaled leader controller
+// to the followers' base URLs.
+func NewReplicationShipper(ctrl *AdmissionController, followers []string, cfg ReplicationShipperConfig) (*ReplicationShipper, error) {
+	return replication.NewShipper(ctrl, followers, cfg)
+}
+
+// NewReplicationReceiver wraps a follower controller with the replication
+// protocol handlers.
+func NewReplicationReceiver(ctrl *AdmissionController) *ReplicationReceiver {
+	return replication.NewReceiver(ctrl)
+}
 
 // ---------------------------------------------------------------------------
 // Task-set generation
