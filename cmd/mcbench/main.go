@@ -317,13 +317,19 @@ func collect(ctrl *mcsched.AdmissionController, c *Counters) {
 }
 
 // admitSingle is one admit(+release) cycle against a loaded 8-core tenant.
-func admitSingle(warm bool, probeOnly bool) func(*testing.B, *Counters) {
+// With instrumented the controller carries a live metrics registry
+// (EnableMetrics), so the number proves the observability layer keeps the
+// warm path allocation-free — the CI bench gate asserts allocs/op == 0.
+func admitSingle(warm, probeOnly, instrumented bool) func(*testing.B, *Counters) {
 	return func(b *testing.B, c *Counters) {
 		cfg := mcsched.DefaultAdmissionConfig()
 		if !warm {
 			cfg.CacheCapacity = -1
 		}
 		ctrl := mcsched.NewAdmissionController(cfg)
+		if instrumented {
+			ctrl.EnableMetrics(mcsched.NewMetricsRegistry())
+		}
 		sys, err := ctrl.CreateSystem("bench", 8, mcsched.EDFVD())
 		if err != nil {
 			b.Fatal(err)
@@ -421,9 +427,10 @@ func partition(strategy mcsched.Strategy, test mcsched.Test) func(*testing.B, *C
 
 func benches() []bench {
 	return []bench{
-		{"admit/single/cold", admitSingle(false, false)},
-		{"admit/single/warm", admitSingle(true, false)},
-		{"probe/single/warm", admitSingle(true, true)},
+		{"admit/single/cold", admitSingle(false, false, false)},
+		{"admit/single/warm", admitSingle(true, false, false)},
+		{"admit/single/warm-instrumented", admitSingle(true, false, true)},
+		{"probe/single/warm", admitSingle(true, true, false)},
 		{"admit/batch64/edfvd", admitBatch64(mcsched.EDFVD(), true)},
 		{"admit/batch64/edfvd-cold", admitBatch64(mcsched.EDFVD(), false)},
 		{"admit/batch64/amc-cold", admitBatch64(mcsched.AMC(), false)},

@@ -23,18 +23,24 @@
 // verified replay path, rejects writes with 409, and becomes a fully
 // writable leader on POST /v1/promote — holding bit-identical partitions,
 // stats and a warm verdict cache. Replication lag is visible per follower
-// and tenant in /v1/replication and /v1/stats:
+// and tenant in /v1/replication, /v1/stats and /metrics:
 //
 //	mcschedd -addr :8081 -data-dir /var/lib/mcschedd-standby -follow
 //	mcschedd -addr :8080 -data-dir /var/lib/mcschedd -replicate-to http://standby:8081
 //	curl -s localhost:8080/v1/replication
 //	curl -s -X POST standby:8081/v1/promote
 //
-// With -pprof <addr> the daemon additionally serves net/http/pprof on a
-// separate listener (opt-in, own port, never on the service address), so
-// operators can profile the admit hot path in production:
+// With -ops-addr the daemon serves an operational listener on a separate
+// address (opt-in, own port, never on the service address) carrying
+// Prometheus metrics, health/readiness probes and net/http/pprof; -pprof
+// is a deprecated alias. Readiness is role-aware: a follower answers 503
+// until promoted. Logs are structured (log/slog); -log-format json emits
+// machine-parseable lines, and every request carries a propagated
+// X-Request-Id that also appears in error logs:
 //
-//	mcschedd -addr :8080 -pprof localhost:6060
+//	mcschedd -addr :8080 -ops-addr localhost:6060 -log-format json
+//	curl -s localhost:6060/metrics
+//	curl -s localhost:6060/readyz
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
 //	mcschedd -addr :8080 -data-dir /var/lib/mcschedd
@@ -42,14 +48,14 @@
 //	curl -s localhost:8080/v1/systems -d '{"processors":4,"test":"EDF-VD"}'
 //	curl -s localhost:8080/v1/systems/s1/admit \
 //	     -d '{"task":{"id":1,"crit":"HI","period":10,"deadline":10,"c_lo":2,"c_hi":4}}'
-//	curl -s localhost:8080/v1/systems/s1/probe \
+//	curl -s 'localhost:8080/v1/systems/s1/probe?explain=1' \
 //	     -d '{"task":{"id":2,"crit":"LO","period":12,"deadline":12,"c_lo":3,"c_hi":3}}'
 //	curl -s localhost:8080/v1/systems/s1/release -d '{"task_id":1}'
 //	curl -s -X POST localhost:8080/v1/systems/s1/snapshot
 //	curl -s localhost:8080/v1/systems/s1
 //	curl -s localhost:8080/v1/stats
 //
-// Endpoints:
+// Endpoints (service address):
 //
 //	POST   /v1/systems                create a tenant {id?, processors, test}
 //	GET    /v1/systems                list tenant IDs
@@ -63,15 +69,26 @@
 //	GET    /v1/replication            replication role + per-tenant positions / per-follower lag
 //	POST   /v1/replication/frame      apply one leader frame (follower mode only)
 //	POST   /v1/promote                flip a follower writable (idempotent)
+//
+// Admit and probe accept ?explain=1 on single-task decisions and return
+// the per-core placement trace alongside the verdict (see
+// docs/operations.md).
+//
+// Endpoints (ops address, -ops-addr):
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /healthz        liveness (always 200 while serving)
+//	GET /readyz         readiness (503 while a warm-standby follower)
+//	    /debug/pprof/*  net/http/pprof
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -81,6 +98,7 @@ import (
 
 	"mcsched"
 	"mcsched/internal/admission"
+	"mcsched/internal/obs"
 	"mcsched/internal/replication"
 )
 
@@ -96,22 +114,50 @@ func main() {
 		"fsync the journal after every committed transition (requires -data-dir)")
 	snapshotEvery := flag.Int("snapshot-every", admission.DefaultSnapshotEvery,
 		"journaled events per tenant between automatic snapshots (negative disables; requires -data-dir)")
+	opsAddr := flag.String("ops-addr", "",
+		"serve /metrics, /healthz, /readyz and /debug/pprof on this address (e.g. localhost:6060); empty disables the ops listener")
 	pprofAddr := flag.String("pprof", "",
-		"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+		"deprecated alias for -ops-addr")
+	logFormat := flag.String("log-format", "text",
+		`structured log output format: "text" or "json"`)
 	replicateTo := flag.String("replicate-to", "",
 		"comma-separated follower base URLs (e.g. http://standby:8080) to ship the journal to (requires -data-dir)")
 	follow := flag.Bool("follow", false,
 		"start as a warm-standby follower: apply replicated frames, reject writes until POST /v1/promote (requires -data-dir)")
 	flag.Parse()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "mcschedd: unknown -log-format %q (want \"text\" or \"json\")\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *dataDir == "" && (*fsync || *snapshotEvery != admission.DefaultSnapshotEvery) {
-		log.Fatal("mcschedd: -fsync and -snapshot-every require -data-dir")
+		fatal("-fsync and -snapshot-every require -data-dir")
 	}
 	if *dataDir == "" && (*replicateTo != "" || *follow) {
-		log.Fatal("mcschedd: -replicate-to and -follow require -data-dir")
+		fatal("-replicate-to and -follow require -data-dir")
 	}
 	if *replicateTo != "" && *follow {
-		log.Fatal("mcschedd: -replicate-to and -follow are mutually exclusive (chained replication is not supported)")
+		fatal("-replicate-to and -follow are mutually exclusive (chained replication is not supported)")
+	}
+	if *pprofAddr != "" {
+		if *opsAddr != "" && *opsAddr != *pprofAddr {
+			fatal("-pprof is a deprecated alias for -ops-addr; set only -ops-addr")
+		}
+		logger.Warn("-pprof is deprecated; use -ops-addr", "addr", *pprofAddr)
+		*opsAddr = *pprofAddr
 	}
 
 	ctrl := admission.NewController(admission.Config{
@@ -124,16 +170,21 @@ func main() {
 		Tests:         mcsched.TestByName,
 		Follower:      *follow,
 	})
+	// Metrics come up before recovery so the journals opened during replay
+	// already carry their instruments.
+	reg := obs.NewRegistry()
+	ctrl.EnableMetrics(reg)
 	if *dataDir != "" {
 		rs, err := ctrl.Recover()
 		if err != nil {
-			log.Fatalf("mcschedd: recover %s: %v", *dataDir, err)
+			fatal("recover failed", "data_dir", *dataDir, "error", err)
 		}
-		log.Printf("mcschedd: recovered %d systems (%d tasks) from %s: %d snapshots loaded, %d events replayed",
-			rs.Systems, rs.Tasks, *dataDir, rs.SnapshotsLoaded, rs.Events)
+		logger.Info("recovered data directory", "data_dir", *dataDir,
+			"systems", rs.Systems, "tasks", rs.Tasks,
+			"snapshots_loaded", rs.SnapshotsLoaded, "events_replayed", rs.Events)
 	}
 
-	srvHandler := newServer(ctrl)
+	srvHandler := newServer(ctrl).instrument(reg, logger)
 	var ship *replication.Shipper
 	if *replicateTo != "" {
 		followers := strings.Split(*replicateTo, ",")
@@ -141,36 +192,38 @@ func main() {
 			followers[i] = strings.TrimSpace(followers[i])
 		}
 		var err error
-		ship, err = replication.NewShipper(ctrl, followers, replication.ShipperConfig{Logf: log.Printf})
+		ship, err = replication.NewShipper(ctrl, followers, replication.ShipperConfig{
+			Logf: func(format string, args ...any) {
+				logger.Warn(fmt.Sprintf(format, args...))
+			},
+		})
 		if err != nil {
-			log.Fatalf("mcschedd: %v", err)
+			fatal("replication setup failed", "error", err)
 		}
+		ship.RegisterMetrics(reg)
 		ctrl.SetHooks(ship.Hooks())
 		ship.Start()
 		srvHandler.withShipper(ship)
-		log.Printf("mcschedd: replicating journal to %s", strings.Join(followers, ", "))
+		logger.Info("replicating journal", "followers", strings.Join(followers, ", "))
 	}
 	if *follow {
-		srvHandler.withReceiver(replication.NewReceiver(ctrl))
-		log.Printf("mcschedd: follower mode — writes rejected until POST /v1/promote")
+		recv := replication.NewReceiver(ctrl)
+		recv.RegisterMetrics(reg)
+		srvHandler.withReceiver(recv)
+		logger.Info("follower mode — writes rejected until POST /v1/promote")
 	}
 
-	if *pprofAddr != "" {
-		// Profiling gets its own listener and mux: the debug endpoints never
-		// share a port with the service API, so an operator can firewall
-		// them independently and a profile dump cannot be reached through
-		// the public address.
-		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	var ops *http.Server
+	if *opsAddr != "" {
+		ops = &http.Server{
+			Addr:              *opsAddr,
+			Handler:           newOpsHandler(reg, ctrl),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go func() {
-			log.Printf("mcschedd: pprof listening on %s", *pprofAddr)
-			srv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-			if err := srv.ListenAndServe(); err != nil {
-				log.Printf("mcschedd: pprof: %v", err)
+			logger.Info("ops listener started", "addr", *opsAddr)
+			if err := ops.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "error", err)
 			}
 		}()
 	}
@@ -186,13 +239,13 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mcschedd listening on %s", *addr)
+	logger.Info("mcschedd listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("mcschedd: %v", err)
+		fatal("serve failed", "error", err)
 	case <-ctx.Done():
-		log.Printf("mcschedd: signal received, draining")
+		logger.Info("signal received, draining")
 	}
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
 	// flush a final snapshot per tenant so the next boot replays (almost)
@@ -200,25 +253,28 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("mcschedd: shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
+	}
+	if ops != nil {
+		ops.Close()
 	}
 	if ship != nil {
 		// Drain the shipper so followers hold everything this leader
 		// committed, then stop it before the journals close.
 		flushCtx, cancelFlush := context.WithTimeout(context.Background(), 5*time.Second)
 		if err := ship.Flush(flushCtx); err != nil {
-			log.Printf("mcschedd: replication flush: %v", err)
+			logger.Warn("replication flush", "error", err)
 		}
 		cancelFlush()
 		ship.Stop()
 	}
 	if *dataDir != "" {
 		if err := ctrl.SnapshotAll(); err != nil {
-			log.Printf("mcschedd: final snapshot: %v", err)
+			logger.Warn("final snapshot", "error", err)
 		}
 		if err := ctrl.Close(); err != nil {
-			log.Printf("mcschedd: close journals: %v", err)
+			logger.Warn("close journals", "error", err)
 		}
-		log.Printf("mcschedd: journals flushed to %s", *dataDir)
+		logger.Info("journals flushed", "data_dir", *dataDir)
 	}
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"mcsched/internal/admission"
+	"mcsched/internal/obs"
+)
+
+// newOpsHandler builds the operational mux served on -ops-addr: Prometheus
+// metrics, liveness and readiness probes, and net/http/pprof. It never
+// shares a port with the service API, so an operator can firewall the
+// debug surface independently and a profile dump cannot be reached through
+// the public address.
+func newOpsHandler(reg *obs.Registry, ctrl *admission.Controller) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	// Liveness: the process is up and serving. Always 200 — a follower is
+	// alive even though it rejects writes.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	// Readiness is role-aware: a warm-standby follower answers 503 so load
+	// balancers keep write traffic pointed at the leader; promotion flips
+	// this to 200 with no restart.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if ctrl.IsFollower() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"status":"not ready","role":"follower","reason":"warm standby rejects writes until POST /v1/promote"}` + "\n"))
+			return
+		}
+		w.Write([]byte(`{"status":"ready","role":"leader"}` + "\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"sort"
 
 	"mcsched"
 	"mcsched/internal/admission"
 	"mcsched/internal/mcs"
 	"mcsched/internal/mcsio"
+	"mcsched/internal/obs"
 	"mcsched/internal/replication"
 )
 
@@ -23,22 +26,54 @@ type server struct {
 	mux  *http.ServeMux
 	ship *replication.Shipper
 	recv *replication.Receiver
+
+	// log receives one line per failed request (with the request ID once
+	// instrument installs the middleware); handler is the served entry
+	// point — the bare mux until instrument wraps it.
+	log     *slog.Logger
+	handler http.Handler
 }
 
 func newServer(ctrl *admission.Controller) *server {
-	s := &server{ctrl: ctrl, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/systems", s.handleCreateSystem)
-	s.mux.HandleFunc("GET /v1/systems", s.handleListSystems)
-	s.mux.HandleFunc("GET /v1/systems/{id}", s.handleGetSystem)
-	s.mux.HandleFunc("DELETE /v1/systems/{id}", s.handleDeleteSystem)
-	s.mux.HandleFunc("POST /v1/systems/{id}/admit", s.handleDecide(true))
-	s.mux.HandleFunc("POST /v1/systems/{id}/probe", s.handleDecide(false))
-	s.mux.HandleFunc("POST /v1/systems/{id}/release", s.handleRelease)
-	s.mux.HandleFunc("POST /v1/systems/{id}/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET "+replication.StatusPath, s.handleReplicationStatus)
-	s.mux.HandleFunc("POST "+replication.FramePath, s.handleReplicationFrame)
-	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s := &server{ctrl: ctrl, mux: http.NewServeMux(), log: slog.New(slog.DiscardHandler)}
+	for pattern, h := range s.routes() {
+		s.mux.HandleFunc(pattern, h)
+	}
+	s.handler = s.mux
+	return s
+}
+
+// routes is the single source of the route table: the mux registers every
+// entry and instrument pre-builds one metric series per pattern, so the
+// route label on /metrics is always a registration pattern, never a raw
+// URL.
+func (s *server) routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"POST /v1/systems":               s.handleCreateSystem,
+		"GET /v1/systems":                s.handleListSystems,
+		"GET /v1/systems/{id}":           s.handleGetSystem,
+		"DELETE /v1/systems/{id}":        s.handleDeleteSystem,
+		"POST /v1/systems/{id}/admit":    s.handleDecide(true),
+		"POST /v1/systems/{id}/probe":    s.handleDecide(false),
+		"POST /v1/systems/{id}/release":  s.handleRelease,
+		"POST /v1/systems/{id}/snapshot": s.handleSnapshot,
+		"GET /v1/stats":                  s.handleStats,
+		"GET " + replication.StatusPath:  s.handleReplicationStatus,
+		"POST " + replication.FramePath:  s.handleReplicationFrame,
+		"POST /v1/promote":               s.handlePromote,
+	}
+}
+
+// instrument wraps the mux with the obs middleware: per-route metrics on
+// reg, request-ID propagation and structured request logs on logger.
+func (s *server) instrument(reg *obs.Registry, logger *slog.Logger) *server {
+	s.log = logger
+	patterns := make([]string, 0, len(s.routes()))
+	for p := range s.routes() {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	s.handler = obs.NewHTTPMetrics(reg, patterns).Instrument(s.mux, logger)
 	return s
 }
 
@@ -56,7 +91,7 @@ func (s *server) withReceiver(recv *replication.Receiver) *server {
 }
 
 // ServeHTTP implements http.Handler.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // ---------------------------------------------------------------------------
 // Wire types (request side; responses reuse admission and mcsio types)
@@ -129,17 +164,17 @@ type errorResponse struct {
 
 func (s *server) handleCreateSystem(w http.ResponseWriter, r *http.Request) {
 	var req createSystemRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	test, ok := mcsched.TestByName(req.Test)
 	if !ok {
-		fail(w, http.StatusBadRequest, fmt.Errorf("unknown test %q", req.Test))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("unknown test %q", req.Test))
 		return
 	}
 	sys, err := s.ctrl.CreateSystem(req.ID, req.Processors, test)
 	if err != nil {
-		fail(w, statusOf(err), err)
+		s.fail(w, r, statusOf(err), err)
 		return
 	}
 	reply(w, http.StatusCreated, createSystemResponse{
@@ -160,7 +195,7 @@ func (s *server) handleListSystems(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleGetSystem(w http.ResponseWriter, r *http.Request) {
 	sys, err := s.ctrl.System(r.PathValue("id"))
 	if err != nil {
-		fail(w, statusOf(err), err)
+		s.fail(w, r, statusOf(err), err)
 		return
 	}
 	p := sys.Snapshot()
@@ -185,30 +220,61 @@ func (s *server) handleGetSystem(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDeleteSystem(w http.ResponseWriter, r *http.Request) {
 	if err := s.ctrl.RemoveSystem(r.PathValue("id")); err != nil {
-		fail(w, statusOf(err), err)
+		s.fail(w, r, statusOf(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// explainResponse widens a decision with the per-core trace requested via
+// ?explain=1.
+type explainResponse struct {
+	admission.AdmitResult
+	Trace *admission.DecisionTrace `json:"trace"`
+}
+
+// wantExplain reports whether the request asked for a decision trace.
+func wantExplain(r *http.Request) bool {
+	v := r.URL.Query().Get("explain")
+	return v == "1" || v == "true"
+}
+
 // handleDecide serves both /admit (commit=true) and /probe (commit=false):
 // the request shapes and responses are identical, only the commit differs.
+// With ?explain=1 a single-task decision also returns the per-core
+// placement trace.
 func (s *server) handleDecide(commit bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sys, err := s.ctrl.System(r.PathValue("id"))
 		if err != nil {
-			fail(w, statusOf(err), err)
+			s.fail(w, r, statusOf(err), err)
 			return
 		}
 		var req admitRequest
-		if !decode(w, r, &req) {
+		if !s.decode(w, r, &req) {
 			return
 		}
+		explain := wantExplain(r)
 		switch {
 		case req.Task != nil && req.Tasks == nil:
 			task, err := mcsio.TaskFromJSON(*req.Task)
 			if err != nil {
-				fail(w, http.StatusBadRequest, err)
+				s.fail(w, r, http.StatusBadRequest, err)
+				return
+			}
+			if explain {
+				var res admission.AdmitResult
+				var trace *admission.DecisionTrace
+				if commit {
+					res, trace, err = sys.AdmitExplain(task)
+				} else {
+					res, trace, err = sys.ProbeExplain(task)
+				}
+				if err != nil {
+					s.fail(w, r, statusOf(err), err)
+					return
+				}
+				reply(w, http.StatusOK, explainResponse{AdmitResult: res, Trace: trace})
 				return
 			}
 			var res admission.AdmitResult
@@ -218,16 +284,21 @@ func (s *server) handleDecide(commit bool) http.HandlerFunc {
 				res, err = sys.Probe(task)
 			}
 			if err != nil {
-				fail(w, statusOf(err), err)
+				s.fail(w, r, statusOf(err), err)
 				return
 			}
 			reply(w, http.StatusOK, res)
 		case req.Tasks != nil && req.Task == nil:
+			if explain {
+				s.fail(w, r, http.StatusBadRequest,
+					errors.New("explain supports single-task decisions only"))
+				return
+			}
 			batch := make(mcs.TaskSet, 0, len(req.Tasks))
 			for _, j := range req.Tasks {
 				task, err := mcsio.TaskFromJSON(j)
 				if err != nil {
-					fail(w, http.StatusBadRequest, err)
+					s.fail(w, r, http.StatusBadRequest, err)
 					return
 				}
 				batch = append(batch, task)
@@ -239,12 +310,12 @@ func (s *server) handleDecide(commit bool) http.HandlerFunc {
 				res, err = sys.ProbeBatch(batch)
 			}
 			if err != nil {
-				fail(w, statusOf(err), err)
+				s.fail(w, r, statusOf(err), err)
 				return
 			}
 			reply(w, http.StatusOK, res)
 		default:
-			fail(w, http.StatusBadRequest,
+			s.fail(w, r, http.StatusBadRequest,
 				errors.New(`body must carry exactly one of "task" or "tasks"`))
 		}
 	}
@@ -253,11 +324,11 @@ func (s *server) handleDecide(commit bool) http.HandlerFunc {
 func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	sys, err := s.ctrl.System(r.PathValue("id"))
 	if err != nil {
-		fail(w, statusOf(err), err)
+		s.fail(w, r, statusOf(err), err)
 		return
 	}
 	var req releaseRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	var ids []int
@@ -267,17 +338,17 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	case req.TaskIDs != nil && req.TaskID == nil:
 		ids = req.TaskIDs
 	default:
-		fail(w, http.StatusBadRequest,
+		s.fail(w, r, http.StatusBadRequest,
 			errors.New(`body must carry exactly one of "task_id" or "task_ids"`))
 		return
 	}
 	if len(ids) == 0 {
-		fail(w, http.StatusBadRequest, errors.New(`"task_ids" must not be empty`))
+		s.fail(w, r, http.StatusBadRequest, errors.New(`"task_ids" must not be empty`))
 		return
 	}
 	released, err := sys.Release(ids...)
 	if err != nil {
-		fail(w, statusOf(err), err)
+		s.fail(w, r, statusOf(err), err)
 		return
 	}
 	reply(w, http.StatusOK, releaseResponse{Released: released})
@@ -288,12 +359,12 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.ctrl.SnapshotSystem(id); err != nil {
-		fail(w, statusOf(err), err)
+		s.fail(w, r, statusOf(err), err)
 		return
 	}
 	sys, err := s.ctrl.System(id)
 	if err != nil {
-		fail(w, statusOf(err), err)
+		s.fail(w, r, statusOf(err), err)
 		return
 	}
 	js, _ := sys.JournalStats()
@@ -352,7 +423,7 @@ func (s *server) handleReplicationStatus(w http.ResponseWriter, r *http.Request)
 // role answers 409 so a stale leader is fenced off.
 func (s *server) handleReplicationFrame(w http.ResponseWriter, r *http.Request) {
 	if s.recv == nil {
-		fail(w, http.StatusConflict, admission.ErrNotFollower)
+		s.fail(w, r, http.StatusConflict, admission.ErrNotFollower)
 		return
 	}
 	s.recv.HandleFrame(w, r)
@@ -374,11 +445,11 @@ func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
 
 // decode strictly parses the JSON request body into dst; on failure it
 // writes a 400 and returns false.
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return false
 	}
 	return true
@@ -410,6 +481,19 @@ func reply(w http.ResponseWriter, status int, body any) {
 	json.NewEncoder(w).Encode(body)
 }
 
-func fail(w http.ResponseWriter, status int, err error) {
+// fail renders the error body and logs one line carrying the propagated
+// request ID, so every non-2xx outcome is attributable in the logs.
+func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, err error) {
+	level := slog.LevelWarn
+	if status >= http.StatusInternalServerError {
+		level = slog.LevelError
+	}
+	s.log.LogAttrs(r.Context(), level, "request failed",
+		slog.String("request_id", obs.RequestID(r.Context())),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.String("error", err.Error()),
+	)
 	reply(w, status, errorResponse{Error: err.Error()})
 }

@@ -46,9 +46,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mcsched/internal/analysis/kernel"
 	"mcsched/internal/analysis/parallel"
 	"mcsched/internal/core"
 	"mcsched/internal/journal"
+	"mcsched/internal/obs"
 )
 
 // Config parameterizes a Controller.
@@ -140,11 +142,12 @@ func (c Config) engine() *parallel.Engine {
 	}
 }
 
-// counters holds the controller-wide atomic counters. Systems bump them
-// directly; Stats() snapshots them.
+// counters holds the controller-wide counters as obs instruments. Systems
+// bump them directly; Stats() and the metrics registry (EnableMetrics) read
+// the very same instruments, so /v1/stats and /metrics cannot drift.
 type counters struct {
-	admits, rejects, probes, releases uint64
-	testsRun, cacheHits, dedups       uint64
+	admits, rejects, probes, releases obs.Counter
+	testsRun, cacheHits, dedups       obs.Counter
 }
 
 // tenantShard is one stripe of the tenant map.
@@ -180,6 +183,13 @@ type Controller struct {
 	follower atomic.Bool
 	hooks    atomic.Pointer[Hooks]
 	replMu   sync.Mutex
+
+	// metrics late-binds the latency histograms EnableMetrics installs; a
+	// nil load means the decision paths skip timestamping entirely, keeping
+	// the un-instrumented hot path byte-identical to before. jm carries the
+	// journal instruments handed to every log opened afterwards.
+	metrics atomic.Pointer[Metrics]
+	jm      atomic.Pointer[journal.Metrics]
 }
 
 // NewController returns an empty controller.
@@ -272,6 +282,7 @@ func (c *Controller) newTenant(id string, m int, test core.Test) *System {
 	sys := newSystem(id, m, test, c.cache, &c.stats, proberOrNil(c.engine))
 	sys.follower = &c.follower
 	sys.hooks = &c.hooks
+	sys.metrics = &c.metrics
 	return sys
 }
 
@@ -356,22 +367,11 @@ func (c *Controller) SystemIDs() []string {
 	return ids
 }
 
-// Stats snapshots the controller counters and gauges.
-func (c *Controller) Stats() Stats {
-	st := Stats{
-		Role:      RoleName(c.follower.Load()),
-		Admits:    atomic.LoadUint64(&c.stats.admits),
-		Rejects:   atomic.LoadUint64(&c.stats.rejects),
-		Probes:    atomic.LoadUint64(&c.stats.probes),
-		Releases:  atomic.LoadUint64(&c.stats.releases),
-		TestsRun:  atomic.LoadUint64(&c.stats.testsRun),
-		CacheHits: atomic.LoadUint64(&c.stats.cacheHits),
-		Dedups:    atomic.LoadUint64(&c.stats.dedups),
-		CacheSize: c.cache.len(),
-	}
-	// Collect the tenants under the shard locks, then query each outside
-	// them: NumTasks takes the system mutex, and holding a shard RLock
-	// across a tenant mid-analysis would stall create/delete on the shard.
+// allSystems collects every tenant under the shard locks and returns them
+// for querying outside the locks: NumTasks takes the system mutex, and
+// holding a shard RLock across a tenant mid-analysis would stall
+// create/delete on the shard.
+func (c *Controller) allSystems() []*System {
 	var systems []*System
 	for i := range c.shards {
 		c.shards[i].mu.RLock()
@@ -380,34 +380,73 @@ func (c *Controller) Stats() Stats {
 		}
 		c.shards[i].mu.RUnlock()
 	}
+	return systems
+}
+
+// analyzerTotals aggregates the per-core analyzer tallies across all live
+// tenants — the breakdown of TestsRun by how the analyses resolved.
+func (c *Controller) analyzerTotals() kernel.Counters {
+	var kc kernel.Counters
+	for _, sys := range c.allSystems() {
+		sc := sys.AnalyzerCounters()
+		sc.AddTo(&kc)
+	}
+	return kc
+}
+
+// journalTotals aggregates the per-tenant journal counters (zero-valued,
+// Enabled false, when the controller runs without a data directory).
+func (c *Controller) journalTotals() JournalStats {
+	var jt JournalStats
+	if !c.cfg.journaling() {
+		return jt
+	}
+	jt.Enabled = true
+	jt.SnapshotFailures = c.snapFailures.Load()
+	jt.RecoveredSystems = c.recovery.Systems
+	jt.ReplayedEvents = c.recovery.Events
+	for _, sys := range c.allSystems() {
+		js, ok := sys.JournalStats()
+		if !ok {
+			continue
+		}
+		jt.Records += js.Records
+		jt.Bytes += js.Bytes
+		jt.Fsyncs += js.Fsyncs
+		jt.Segments += js.Segments
+		jt.Snapshots += js.Snapshots
+		jt.TruncatedSegments += js.TruncatedSegments
+	}
+	return jt
+}
+
+// Stats snapshots the controller counters and gauges.
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		Role:      RoleName(c.follower.Load()),
+		Admits:    c.stats.admits.Value(),
+		Rejects:   c.stats.rejects.Value(),
+		Probes:    c.stats.probes.Value(),
+		Releases:  c.stats.releases.Value(),
+		TestsRun:  c.stats.testsRun.Value(),
+		CacheHits: c.stats.cacheHits.Value(),
+		Dedups:    c.stats.dedups.Value(),
+		CacheSize: c.cache.len(),
+	}
+	systems := c.allSystems()
 	st.Systems = len(systems)
+	var kc kernel.Counters
 	for _, sys := range systems {
 		st.Tasks += sys.NumTasks()
-		kc := sys.AnalyzerCounters()
-		st.FastAccepts += kc.FastAccepts
-		st.FastRejects += kc.FastRejects
-		st.IncrementalHits += kc.IncrementalHits
-		st.ExactRuns += kc.ExactRuns
-		st.WarmStarts += kc.WarmStarts
+		sc := sys.AnalyzerCounters()
+		sc.AddTo(&kc)
 	}
-	if c.cfg.journaling() {
-		st.Journal.Enabled = true
-		st.Journal.SnapshotFailures = c.snapFailures.Load()
-		st.Journal.RecoveredSystems = c.recovery.Systems
-		st.Journal.ReplayedEvents = c.recovery.Events
-		for _, sys := range systems {
-			js, ok := sys.JournalStats()
-			if !ok {
-				continue
-			}
-			st.Journal.Records += js.Records
-			st.Journal.Bytes += js.Bytes
-			st.Journal.Fsyncs += js.Fsyncs
-			st.Journal.Segments += js.Segments
-			st.Journal.Snapshots += js.Snapshots
-			st.Journal.TruncatedSegments += js.TruncatedSegments
-		}
-	}
+	st.FastAccepts = kc.FastAccepts
+	st.FastRejects = kc.FastRejects
+	st.IncrementalHits = kc.IncrementalHits
+	st.ExactRuns = kc.ExactRuns
+	st.WarmStarts = kc.WarmStarts
+	st.Journal = c.journalTotals()
 	return st
 }
 

@@ -19,7 +19,6 @@ package admission
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"mcsched/internal/journal"
 	"mcsched/internal/mcsio"
@@ -186,7 +185,7 @@ func (c *Controller) bootstrapReplicatedTenant(tenant string, e mcsio.EventJSON,
 		return fmt.Errorf("admission: unknown schedulability test %q in replicated stream", e.Test)
 	}
 	sys := c.newTenant(tenant, e.Processors, test)
-	lg, err := journal.Open(c.tenantDir(tenant), c.cfg.journalOptions())
+	lg, err := journal.Open(c.tenantDir(tenant), c.journalOptions())
 	if err != nil {
 		return err
 	}
@@ -229,7 +228,7 @@ func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) error {
 		}
 		s.commitPlaced(t, e.Core)
 		s.admits++
-		atomic.AddUint64(&s.ct.stats.admits, 1)
+		s.ct.stats.admits.Inc()
 
 	case mcsio.EventAdmitBatch:
 		placed := make([]int, 0, len(e.Tasks))
@@ -260,7 +259,7 @@ func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) error {
 			return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
 		}
 		s.admits += uint64(len(e.Tasks))
-		atomic.AddUint64(&s.ct.stats.admits, uint64(len(e.Tasks)))
+		s.ct.stats.admits.Add(uint64(len(e.Tasks)))
 
 	case mcsio.EventRelease:
 		for _, tid := range e.TaskIDs {
@@ -275,7 +274,7 @@ func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) error {
 			s.asn.Remove(tid)
 			delete(s.resident, tid)
 			s.releases++
-			atomic.AddUint64(&s.ct.stats.releases, 1)
+			s.ct.stats.releases.Inc()
 		}
 
 	default:
@@ -337,7 +336,7 @@ func (c *Controller) ApplyReplicatedSnapshot(tenant string, seq uint64, payload 
 		old.mu.Unlock()
 	}
 	if lg == nil {
-		lg, err = journal.Open(c.tenantDir(tenant), c.cfg.journalOptions())
+		lg, err = journal.Open(c.tenantDir(tenant), c.journalOptions())
 		if err != nil {
 			return c.TenantNext(tenant), fmt.Errorf("%w: open journal: %w", ErrJournalIO, err)
 		}
@@ -359,8 +358,8 @@ func (c *Controller) ApplyReplicatedSnapshot(tenant string, seq uint64, payload 
 
 	// Reconcile the controller-wide counters: the snapshot's lifetime
 	// counters replace whatever the retired replica had contributed.
-	atomic.AddUint64(&c.stats.admits, sys.admits-oldAdmits)
-	atomic.AddUint64(&c.stats.releases, sys.releases-oldReleases)
+	c.stats.admits.Add(sys.admits - oldAdmits)
+	c.stats.releases.Add(sys.releases - oldReleases)
 
 	sh := c.shard(tenant)
 	sh.mu.Lock()

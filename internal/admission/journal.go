@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync/atomic"
 
 	"mcsched/internal/journal"
 	"mcsched/internal/mcs"
@@ -54,8 +53,12 @@ const MaxSystemID = 80
 
 func (c Config) journaling() bool { return c.DataDir != "" }
 
-func (c Config) journalOptions() journal.Options {
-	return journal.Options{Fsync: c.Fsync}
+// journalOptions builds the open options for a tenant log, carrying the
+// journal instruments when EnableMetrics installed them — which is why
+// EnableMetrics must run before Recover for recovery-opened logs to
+// observe.
+func (c *Controller) journalOptions() journal.Options {
+	return journal.Options{Fsync: c.cfg.Fsync, Metrics: c.jm.Load()}
 }
 
 func (c Config) snapshotEvery() int {
@@ -214,7 +217,7 @@ func (s *System) JournalStats() (JournalStats, bool) {
 // lock is needed. Called under the tenant-map shard lock.
 func (c *Controller) attachNewJournal(sys *System, m int) error {
 	dir := c.tenantDir(sys.id)
-	lg, err := journal.Open(dir, c.cfg.journalOptions())
+	lg, err := journal.Open(dir, c.journalOptions())
 	if err != nil {
 		return err
 	}
@@ -360,7 +363,7 @@ func (c *Controller) Recover() (RecoveryStats, error) {
 // recoverTenant rebuilds one tenant from its journal directory. It returns
 // (nil, 0, false, nil) for a journal with no events and no snapshot.
 func (c *Controller) recoverTenant(id, dir string) (*System, int, bool, error) {
-	lg, err := journal.Open(dir, c.cfg.journalOptions())
+	lg, err := journal.Open(dir, c.journalOptions())
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -382,8 +385,8 @@ func (c *Controller) recoverTenant(id, dir string) (*System, int, bool, error) {
 		if err != nil {
 			return nil, 0, false, err
 		}
-		atomic.AddUint64(&c.stats.admits, sys.admits)
-		atomic.AddUint64(&c.stats.releases, sys.releases)
+		c.stats.admits.Add(sys.admits)
+		c.stats.releases.Add(sys.releases)
 		fromSnap = true
 	}
 
@@ -490,7 +493,7 @@ func (s *System) applyEvent(e mcsio.EventJSON) error {
 			return err
 		}
 		s.admits++
-		atomic.AddUint64(&s.ct.stats.admits, 1)
+		s.ct.stats.admits.Inc()
 	case mcsio.EventAdmitBatch:
 		for i, j := range e.Tasks {
 			t, err := mcsio.TaskFromJSON(j)
@@ -502,7 +505,7 @@ func (s *System) applyEvent(e mcsio.EventJSON) error {
 			}
 		}
 		s.admits += uint64(len(e.Tasks))
-		atomic.AddUint64(&s.ct.stats.admits, uint64(len(e.Tasks)))
+		s.ct.stats.admits.Add(uint64(len(e.Tasks)))
 	case mcsio.EventRelease:
 		for _, tid := range e.TaskIDs {
 			if !s.resident[tid] {
@@ -511,7 +514,7 @@ func (s *System) applyEvent(e mcsio.EventJSON) error {
 			s.asn.Remove(tid)
 			delete(s.resident, tid)
 			s.releases++
-			atomic.AddUint64(&s.ct.stats.releases, 1)
+			s.ct.stats.releases.Inc()
 		}
 	default:
 		return fmt.Errorf("%w: unexpected event kind %q", ErrReplayDivergence, e.Kind)

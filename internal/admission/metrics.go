@@ -1,0 +1,142 @@
+package admission
+
+import (
+	"mcsched/internal/analysis/kernel"
+	"mcsched/internal/journal"
+	"mcsched/internal/obs"
+)
+
+// Metrics carries the admission-layer latency histograms installed by
+// EnableMetrics. The decision paths load it through an atomic pointer and
+// take timestamps only when it is present, so an un-instrumented controller
+// pays nothing.
+type Metrics struct {
+	admitSeconds, probeSeconds, releaseSeconds *obs.Histogram
+}
+
+// EnableMetrics registers the controller's observable state on r and turns
+// on latency observation. The counter series attach the very instruments
+// Stats() reads, so /metrics and /v1/stats are one source of truth and can
+// never drift. Call it once, before Recover and before serving traffic —
+// journal instruments only reach logs opened after this call.
+func (c *Controller) EnableMetrics(r *obs.Registry) {
+	// Decision counters: the same obs.Counter instruments Stats() snapshots.
+	r.AttachCounter(&c.stats.admits, "mcsched_admission_admits_total",
+		"Tasks admitted (committed); batch admits count each task.")
+	r.AttachCounter(&c.stats.rejects, "mcsched_admission_rejects_total",
+		"Committing decisions rejected (a rejected batch counts once).")
+	r.AttachCounter(&c.stats.probes, "mcsched_admission_probes_total",
+		"Non-committing probe decisions.")
+	r.AttachCounter(&c.stats.releases, "mcsched_admission_releases_total",
+		"Tasks released.")
+	r.AttachCounter(&c.stats.testsRun, "mcsched_admission_tests_run_total",
+		"Uniprocessor schedulability analyses actually executed.")
+	r.AttachCounter(&c.stats.cacheHits, "mcsched_admission_verdict_cache_hits_total",
+		"Analyses answered from the shared verdict cache.")
+	r.AttachCounter(&c.stats.dedups, "mcsched_admission_verdict_cache_dedups_total",
+		"Analyses answered by waiting on an identical in-flight analysis.")
+
+	// Gauges over live controller state, computed at scrape time.
+	r.GaugeFunc("mcsched_admission_systems",
+		"Current number of tenant systems.",
+		func() float64 { return float64(len(c.allSystems())) })
+	r.GaugeFunc("mcsched_admission_tasks",
+		"Total resident tasks across all tenants.",
+		func() float64 {
+			n := 0
+			for _, sys := range c.allSystems() {
+				n += sys.NumTasks()
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("mcsched_admission_verdict_cache_size",
+		"Memoized schedulability verdicts currently cached.",
+		func() float64 { return float64(c.cache.len()) })
+	r.GaugeFunc("mcsched_admission_follower",
+		"1 while the controller is a warm-standby follower rejecting writes, 0 as leader.",
+		func() float64 {
+			if c.follower.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	// Analyzer fast-path breakdown (PR 4's kernel.Counters), aggregated over
+	// live tenants at scrape time — a removed tenant takes its tallies with
+	// it, exactly as in Stats().
+	analyzer := func(f func(kernel.Counters) uint64) func() uint64 {
+		return func() uint64 { return f(c.analyzerTotals()) }
+	}
+	r.CounterFunc("mcsched_analyzer_fast_accepts_total",
+		"Analyses answered by a sufficient condition without the exact kernel.",
+		analyzer(func(kc kernel.Counters) uint64 { return kc.FastAccepts }))
+	r.CounterFunc("mcsched_analyzer_fast_rejects_total",
+		"Analyses answered by a necessary-condition reject.",
+		analyzer(func(kc kernel.Counters) uint64 { return kc.FastRejects }))
+	r.CounterFunc("mcsched_analyzer_incremental_hits_total",
+		"Analyses resolved from memoized per-core state.",
+		analyzer(func(kc kernel.Counters) uint64 { return kc.IncrementalHits }))
+	r.CounterFunc("mcsched_analyzer_exact_runs_total",
+		"Full cold kernel runs.",
+		analyzer(func(kc kernel.Counters) uint64 { return kc.ExactRuns }))
+	r.CounterFunc("mcsched_analyzer_warm_starts_total",
+		"Fixed-point solves seeded from a previously converged response time.",
+		analyzer(func(kc kernel.Counters) uint64 { return kc.WarmStarts }))
+
+	// Decision latency histograms, gated behind the atomic pointer so the
+	// hot path only times itself once these exist.
+	c.metrics.Store(&Metrics{
+		admitSeconds: r.NewHistogram("mcsched_admission_admit_duration_seconds",
+			"Latency of committing admit decisions (single and batch), including journaling.",
+			obs.LatencyBuckets),
+		probeSeconds: r.NewHistogram("mcsched_admission_probe_duration_seconds",
+			"Latency of non-committing probe decisions (single and batch).",
+			obs.LatencyBuckets),
+		releaseSeconds: r.NewHistogram("mcsched_admission_release_duration_seconds",
+			"Latency of release operations, including journaling.",
+			obs.LatencyBuckets),
+	})
+
+	if !c.cfg.journaling() {
+		return
+	}
+	// Journal instruments: latency histograms handed to every tenant log
+	// opened from here on (EnableMetrics runs before Recover in mcschedd,
+	// so recovery-opened logs observe too), plus scrape-time aggregates of
+	// the per-tenant journal counters.
+	c.jm.Store(&journal.Metrics{
+		AppendSeconds: r.NewHistogram("mcsched_journal_append_duration_seconds",
+			"Latency of journal appends (framing, segment write, fsync when enabled).",
+			obs.LatencyBuckets),
+		FsyncSeconds: r.NewHistogram("mcsched_journal_fsync_duration_seconds",
+			"Latency of the per-append data sync in fsync mode.",
+			obs.LatencyBuckets),
+		SnapshotSeconds: r.NewHistogram("mcsched_journal_snapshot_duration_seconds",
+			"Latency of durable snapshot writes including segment truncation.",
+			obs.LatencyBuckets),
+	})
+	jt := func(f func(JournalStats) uint64) func() uint64 {
+		return func() uint64 { return f(c.journalTotals()) }
+	}
+	r.CounterFunc("mcsched_journal_records_total",
+		"Events appended across all tenant journals (this process).",
+		jt(func(j JournalStats) uint64 { return j.Records }))
+	r.CounterFunc("mcsched_journal_bytes_total",
+		"Framed bytes appended across all tenant journals (this process).",
+		jt(func(j JournalStats) uint64 { return j.Bytes }))
+	r.CounterFunc("mcsched_journal_fsyncs_total",
+		"Synchronous flushes (appends under fsync, snapshots, directory syncs).",
+		jt(func(j JournalStats) uint64 { return j.Fsyncs }))
+	r.CounterFunc("mcsched_journal_snapshots_total",
+		"Snapshots written.",
+		jt(func(j JournalStats) uint64 { return j.Snapshots }))
+	r.CounterFunc("mcsched_journal_snapshot_failures_total",
+		"Automatic snapshots that failed (their events stayed durable).",
+		jt(func(j JournalStats) uint64 { return j.SnapshotFailures }))
+	r.CounterFunc("mcsched_journal_truncated_segments_total",
+		"Segments deleted by snapshot truncation.",
+		jt(func(j JournalStats) uint64 { return j.TruncatedSegments }))
+	r.GaugeFunc("mcsched_journal_segments",
+		"Current on-disk log segments across all tenants.",
+		func() float64 { return float64(c.journalTotals().Segments) })
+}

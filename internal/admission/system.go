@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mcsched/internal/analysis/kernel"
 	"mcsched/internal/core"
@@ -59,6 +60,15 @@ type System struct {
 	// that build systems directly.
 	follower *atomic.Bool
 	hooks    *atomic.Pointer[Hooks]
+
+	// metrics points at the controller's latency instruments; nil (or a nil
+	// load, before EnableMetrics) disables decision timing entirely.
+	metrics *atomic.Pointer[Metrics]
+
+	// relScratch is the reusable ID buffer of single-task releases, so the
+	// warm admit+release cycle never heap-allocates. Guarded by mu; the
+	// journal marshals it before returning and never retains it.
+	relScratch []int
 }
 
 // cachedTest adapts a core.Test with the controller's shared verdict cache
@@ -101,7 +111,7 @@ func (t *cachedTest) Schedulable(ts mcs.TaskSet) bool {
 func (t *cachedTest) Memoize(ts mcs.TaskSet, compute func(mcs.TaskSet) bool) bool {
 	if t.cache == nil {
 		t.tallyTests.Add(1)
-		atomic.AddUint64(&t.stats.testsRun, 1)
+		t.stats.testsRun.Inc()
 		return compute(ts)
 	}
 	k := cacheKey{test: t.name, set: t.cache.keyOf(ts)}
@@ -129,7 +139,7 @@ func (t *cachedTest) TaskKey(task mcs.Task) uint64 {
 func (t *cachedTest) MemoizeKeyed(key core.MultisetKey, build func() mcs.TaskSet, compute func(mcs.TaskSet) bool) bool {
 	if t.cache == nil {
 		t.tallyTests.Add(1)
-		atomic.AddUint64(&t.stats.testsRun, 1)
+		t.stats.testsRun.Inc()
 		return compute(build())
 	}
 	k := cacheKey{test: t.name, set: setKey{sum: key.Sum, xor: key.Xor, n: key.N}}
@@ -144,13 +154,13 @@ func (t *cachedTest) tallyOutcome(outcome int) {
 	switch outcome {
 	case flightRan:
 		t.tallyTests.Add(1)
-		atomic.AddUint64(&t.stats.testsRun, 1)
+		t.stats.testsRun.Inc()
 	case flightHit:
 		t.tallyHits.Add(1)
-		atomic.AddUint64(&t.stats.cacheHits, 1)
+		t.stats.cacheHits.Inc()
 	case flightShared:
 		t.tallyShared.Add(1)
-		atomic.AddUint64(&t.stats.dedups, 1)
+		t.stats.dedups.Inc()
 	}
 }
 
@@ -289,17 +299,33 @@ func (s *System) commitPlaced(t mcs.Task, k int) {
 	s.resident[t.ID] = true
 }
 
+// loadMetrics returns the controller's latency instruments, or nil when
+// metrics are not enabled (or the system was built without a controller).
+func (s *System) loadMetrics() *Metrics {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.Load()
+}
+
 // Admit places one task, committing it on success.
 func (s *System) Admit(t mcs.Task) (AdmitResult, error) {
-	return s.decide(t, true)
+	return s.decide(t, true, nil)
 }
 
 // Probe decides whether the task would be admitted without committing it.
 func (s *System) Probe(t mcs.Task) (AdmitResult, error) {
-	return s.decide(t, false)
+	return s.decide(t, false, nil)
 }
 
-func (s *System) decide(t mcs.Task, commit bool) (AdmitResult, error) {
+func (s *System) decide(t mcs.Task, commit bool, rec probeRecorder) (AdmitResult, error) {
+	// Timing is gated on the metrics pointer: without EnableMetrics the hot
+	// path takes no timestamps and the decision cost is unchanged.
+	m := s.loadMetrics()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if commit && s.followerMode() {
@@ -311,7 +337,7 @@ func (s *System) decide(t mcs.Task, commit bool) (AdmitResult, error) {
 		return AdmitResult{TaskID: t.ID, Core: -1, Probed: !commit}, err
 	}
 	s.ct.resetTally()
-	res := s.place(t)
+	res := s.placeTraced(t, rec)
 	res.Probed = !commit
 	if commit && res.Admitted {
 		// Commit point: journal first, apply second. A failed append
@@ -326,11 +352,20 @@ func (s *System) decide(t mcs.Task, commit bool) (AdmitResult, error) {
 	res.Tests, res.CacheHits, res.Shared = s.ct.readTally()
 	switch {
 	case !commit:
-		atomic.AddUint64(&s.ct.stats.probes, 1)
+		s.ct.stats.probes.Inc()
+		if m != nil {
+			m.probeSeconds.Observe(time.Since(start))
+		}
 	case res.Admitted:
-		atomic.AddUint64(&s.ct.stats.admits, 1)
+		s.ct.stats.admits.Inc()
+		if m != nil {
+			m.admitSeconds.Observe(time.Since(start))
+		}
 	default:
-		atomic.AddUint64(&s.ct.stats.rejects, 1)
+		s.ct.stats.rejects.Inc()
+		if m != nil {
+			m.admitSeconds.Observe(time.Since(start))
+		}
 	}
 	return res, nil
 }
@@ -351,6 +386,11 @@ func (s *System) ProbeBatch(ts mcs.TaskSet) (BatchResult, error) {
 func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 	if len(ts) == 0 {
 		return BatchResult{}, fmt.Errorf("admission: empty batch")
+	}
+	m := s.loadMetrics()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -421,13 +461,22 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 	out.Tests, out.CacheHits, out.Shared = s.ct.readTally()
 	switch {
 	case !commit:
-		atomic.AddUint64(&s.ct.stats.probes, uint64(len(out.Results)))
+		s.ct.stats.probes.Add(uint64(len(out.Results)))
+		if m != nil {
+			m.probeSeconds.Observe(time.Since(start))
+		}
 	case out.Admitted:
-		atomic.AddUint64(&s.ct.stats.admits, uint64(len(out.Results)))
+		s.ct.stats.admits.Add(uint64(len(out.Results)))
+		if m != nil {
+			m.admitSeconds.Observe(time.Since(start))
+		}
 	default:
 		// Only the misfit task is a rejection; the tasks that placed and
 		// were rolled back were never individually rejected.
-		atomic.AddUint64(&s.ct.stats.rejects, 1)
+		s.ct.stats.rejects.Inc()
+		if m != nil {
+			m.admitSeconds.Observe(time.Since(start))
+		}
 	}
 	return out, nil
 }
@@ -438,20 +487,37 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 // four tests are sustainable under task removal — so a release is O(n)
 // bookkeeping.
 func (s *System) Release(ids ...int) (int, error) {
+	m := s.loadMetrics()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.followerMode() {
 		return 0, ErrFollower
 	}
-	unique := make([]int, 0, len(ids))
-	seen := make(map[int]bool, len(ids))
-	for _, id := range ids {
-		if !s.resident[id] {
-			return 0, fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	var unique []int
+	if len(ids) == 1 {
+		// Single-task release is the hot shape (every admit+release cycle);
+		// skip the dedup map and reuse the scratch buffer so the path stays
+		// allocation-free.
+		if !s.resident[ids[0]] {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownTask, ids[0])
 		}
-		if !seen[id] {
-			seen[id] = true
-			unique = append(unique, id)
+		s.relScratch = append(s.relScratch[:0], ids[0])
+		unique = s.relScratch
+	} else {
+		unique = make([]int, 0, len(ids))
+		seen := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			if !s.resident[id] {
+				return 0, fmt.Errorf("%w: %d", ErrUnknownTask, id)
+			}
+			if !seen[id] {
+				seen[id] = true
+				unique = append(unique, id)
+			}
 		}
 	}
 	// Commit point: journal the release, then apply it.
@@ -462,8 +528,11 @@ func (s *System) Release(ids ...int) (int, error) {
 		s.asn.Remove(id)
 		delete(s.resident, id)
 		s.releases++
-		atomic.AddUint64(&s.ct.stats.releases, 1)
+		s.ct.stats.releases.Inc()
 	}
 	s.maybeSnapshotLocked()
+	if m != nil {
+		m.releaseSeconds.Observe(time.Since(start))
+	}
 	return len(unique), nil
 }

@@ -166,6 +166,17 @@ func (a *Assigner) Fits(task mcs.Task, k int) bool {
 	return an.Schedulable(cand)
 }
 
+// CoreCounters returns core k's analyzer tallies — zero-valued before the
+// core's first probe. The admission layer's explain tracing diffs it around
+// a single Fits call to classify how that probe was resolved. Same
+// synchronization contract as AnalyzerCounters.
+func (a *Assigner) CoreCounters(k int) kernel.Counters {
+	if an := a.analyzers[k]; an != nil {
+		return *an.Counters()
+	}
+	return kernel.Counters{}
+}
+
 // AnalyzerCounters aggregates the fast-path/warm-start tallies of all
 // per-core analyzers. Callers must not race it against in-flight probes
 // (the admission layer reads it under the tenant lock).

@@ -42,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -93,6 +94,9 @@ type Options struct {
 	// SegmentBytes is the size threshold at which a new segment starts.
 	// 0 selects DefaultSegmentBytes.
 	SegmentBytes int64
+	// Metrics, when non-nil, turns on latency observation of appends,
+	// fsyncs and snapshots. Nil logs take no timestamps at all.
+	Metrics *Metrics
 }
 
 // Stats is a point-in-time snapshot of one log's counters and gauges.
@@ -249,6 +253,11 @@ func (l *Log) SnapshotSeq() uint64 {
 // returns. A failed append rolls the physical tail back so the rejected
 // record cannot occupy a sequence number a later append will reuse.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	m := l.opts.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -271,6 +280,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("journal: append: %w", err)
 	}
 	if l.opts.Fsync {
+		var syncStart time.Time
+		if m != nil {
+			syncStart = time.Now()
+		}
 		if err := l.active.Sync(); err != nil {
 			// The frame is fully written but not durable, and the caller
 			// will be told the append failed — it must not survive, or a
@@ -280,6 +293,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, fmt.Errorf("journal: fsync: %w", err)
 		}
 		l.nFsyncs++
+		if m != nil {
+			m.FsyncSeconds.Observe(time.Since(syncStart))
+		}
 	}
 	l.activeSize += int64(len(frame))
 	seq := l.nextSeq
@@ -287,6 +303,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.nRecords++
 	l.nBytes += uint64(len(frame))
 	l.notifyLocked()
+	if m != nil {
+		m.AppendSeconds.Observe(time.Since(start))
+	}
 	return seq, nil
 }
 
@@ -522,6 +541,11 @@ func (l *Log) writeSnapshotFileLocked(payload []byte, seq uint64) error {
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
+	m := l.opts.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	tmp := filepath.Join(l.dir, snapPrefix+strconv.FormatUint(seq, 10)+tmpSuffix)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -568,6 +592,9 @@ func (l *Log) writeSnapshotFileLocked(payload []byte, seq uint64) error {
 	l.segs = nil
 	if oldSnap != "" && oldSnap != final {
 		os.Remove(oldSnap)
+	}
+	if m != nil {
+		m.SnapshotSeconds.Observe(time.Since(start))
 	}
 	return nil
 }

@@ -1,0 +1,20 @@
+package journal
+
+import "mcsched/internal/obs"
+
+// Metrics carries the latency instruments a Log observes into. All fields
+// must be non-nil when a Metrics is installed; a nil Options.Metrics
+// disables observation entirely (the Log then takes no timestamps). The
+// admission layer builds one per controller in EnableMetrics and shares it
+// across every tenant log it opens afterwards.
+type Metrics struct {
+	// AppendSeconds observes the full Append call: framing, the segment
+	// write, and the data fsync when the log runs in fsync mode.
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds observes just the per-append data sync of fsync-mode
+	// appends — the durability cost an operator tunes -fsync against.
+	FsyncSeconds *obs.Histogram
+	// SnapshotSeconds observes durable snapshot writes, including the
+	// rename, directory sync and segment truncation.
+	SnapshotSeconds *obs.Histogram
+}

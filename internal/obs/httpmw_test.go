@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newInstrumented builds a two-route mux wrapped with the middleware,
+// logging JSON lines into the returned buffer.
+func newInstrumented(t *testing.T) (*Registry, http.Handler, *bytes.Buffer) {
+	t.Helper()
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/things/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("thing " + r.PathValue("id")))
+	})
+	mux.HandleFunc("POST /v1/fail", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	})
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	m := NewHTTPMetrics(reg, []string{"GET /v1/things/{id}", "POST /v1/fail"})
+	return reg, m.Instrument(mux, logger), &logBuf
+}
+
+func TestMiddlewareRouteMetricsAndLog(t *testing.T) {
+	reg, h, logBuf := newInstrumented(t)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/things/42", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	id := rec.Header().Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id minted")
+	}
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	got := b.String()
+	// The route label is the registration pattern, not the raw path.
+	if !strings.Contains(got, `mcsched_http_requests_total{code="2xx",method="GET",route="/v1/things/{id}"} 1`) {
+		t.Errorf("missing 2xx route counter:\n%s", got)
+	}
+	if !strings.Contains(got, `mcsched_http_request_duration_seconds_count{method="GET",route="/v1/things/{id}"} 1`) {
+		t.Errorf("missing duration count:\n%s", got)
+	}
+	if !strings.Contains(got, "mcsched_http_requests_inflight 0") {
+		t.Errorf("inflight gauge did not return to zero:\n%s", got)
+	}
+
+	// The structured log line carries the minted request ID and the route.
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, logBuf.String())
+	}
+	if line["request_id"] != id || line["route"] != "GET /v1/things/{id}" || line["status"] != float64(200) {
+		t.Errorf("log line %v", line)
+	}
+}
+
+func TestMiddlewareRequestIDPropagation(t *testing.T) {
+	_, h, _ := newInstrumented(t)
+
+	// A sane client-supplied ID is propagated verbatim.
+	req := httptest.NewRequest("GET", "/v1/things/1", nil)
+	req.Header.Set("X-Request-Id", "client-abc.123")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "client-abc.123" {
+		t.Errorf("client ID not echoed: %q", got)
+	}
+
+	// A hostile one is replaced, never echoed.
+	req = httptest.NewRequest("GET", "/v1/things/1", nil)
+	req.Header.Set("X-Request-Id", "bad id\nwith newline")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got == "" || strings.Contains(got, "\n") || strings.Contains(got, "bad id") {
+		t.Errorf("hostile ID echoed: %q", got)
+	}
+}
+
+func TestMiddlewareStatusClassesAndOther(t *testing.T) {
+	reg, h, _ := newInstrumented(t)
+
+	// 5xx from a registered route.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/fail", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", rec.Code)
+	}
+	// Unregistered path lands in route="other" with a 4xx.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d", rec.Code)
+	}
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	got := b.String()
+	if !strings.Contains(got, `mcsched_http_requests_total{code="5xx",method="POST",route="/v1/fail"} 1`) {
+		t.Errorf("missing 5xx counter:\n%s", got)
+	}
+	if !strings.Contains(got, `mcsched_http_requests_total{code="4xx",route="other"} 1`) {
+		t.Errorf("missing other-route 4xx counter:\n%s", got)
+	}
+}
+
+func TestRequestIDHelpers(t *testing.T) {
+	ctx := ContextWithRequestID(t.Context(), "rid-1")
+	if got := RequestID(ctx); got != "rid-1" {
+		t.Errorf("RequestID = %q", got)
+	}
+	if got := RequestID(t.Context()); got != "" {
+		t.Errorf("RequestID on bare context = %q", got)
+	}
+}

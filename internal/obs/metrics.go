@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use, so it can be embedded directly in hot-path structs and attached to a
+// Registry later — incrementing is one atomic add, no allocation, no lock.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer gauge (current value, may go up and down). The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// LatencyBuckets is the default histogram bucket layout for request and I/O
+// latencies: a 1-2.5-5 progression from 1µs to 2.5s (20 buckets). Durations
+// above the last bound land in the implicit +Inf bucket.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+	1, 2.5,
+}
+
+// Histogram is a fixed-bucket latency histogram. Bucket bounds are fixed at
+// construction and pre-converted to integer nanoseconds, so Observe is a
+// short integer scan plus two atomic adds — no floating point, no
+// allocation, no lock. Exposition follows Prometheus histogram conventions:
+// cumulative buckets, a _sum in seconds and a _count.
+type Histogram struct {
+	// bounds are the upper bucket bounds in seconds, as registered.
+	bounds []float64
+	// boundsNs are the same bounds in nanoseconds for hot-path comparison.
+	boundsNs []int64
+	// counts[i] counts observations ≤ boundsNs[i]; counts[len(bounds)] is
+	// the +Inf overflow bucket. Stored non-cumulative, summed at render.
+	counts []atomic.Uint64
+	// sumNs accumulates total observed time in nanoseconds.
+	sumNs atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given upper bucket bounds in
+// seconds. Bounds must be positive and strictly increasing; panics
+// otherwise (registration-time misuse, not a runtime condition).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	h := &Histogram{
+		bounds:   append([]float64(nil), bounds...),
+		boundsNs: make([]int64, len(bounds)),
+		counts:   make([]atomic.Uint64, len(bounds)+1),
+	}
+	prev := math.Inf(-1)
+	for i, b := range h.bounds {
+		if b <= 0 || b <= prev || math.IsInf(b, 1) || math.IsNaN(b) {
+			panic("obs: histogram bounds must be positive, finite and strictly increasing")
+		}
+		prev = b
+		h.boundsNs[i] = int64(math.Round(b * 1e9))
+	}
+	return h
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for ; i < len(h.boundsNs); i++ {
+		if ns <= h.boundsNs[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// snapshot returns cumulative bucket counts, the total count and the sum in
+// seconds. Reads are atomic per bucket but not mutually consistent — fine
+// for scrapes, which tolerate being a few observations apart.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sumSeconds float64) {
+	cum = make([]uint64, len(h.bounds))
+	var running uint64
+	for i := range h.bounds {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	count = running + h.counts[len(h.bounds)].Load()
+	return cum, count, float64(h.sumNs.Load()) / 1e9
+}

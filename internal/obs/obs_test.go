@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// render returns the registry's full exposition as a string.
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+// TestPrometheusExposition is the golden test: one family of every kind,
+// rendered byte-for-byte in the text exposition format (families sorted by
+// name, labels sorted by label name, histogram buckets cumulative with the
+// +Inf terminator).
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_requests_total", "Requests served.",
+		L("route", "/v1"), L("code", "2xx"))
+	c.Add(3)
+	reg.CounterFunc("test_events_total", "Events observed.", func() uint64 { return 42 })
+	g := reg.NewGauge("test_inflight", "Requests in flight.")
+	g.Set(7)
+	reg.GaugeFunc("test_ratio", "A scrape-time ratio.", func() float64 { return 0.25 })
+	h := reg.NewHistogram("test_latency_seconds", "Operation latency.",
+		[]float64{0.001, 0.01, 0.1})
+	h.Observe(1 * time.Millisecond)  // exactly the first bound: inclusive
+	h.Observe(5 * time.Millisecond)  // second bucket
+	h.Observe(50 * time.Millisecond) // third bucket
+	h.Observe(1 * time.Second)       // +Inf overflow
+	h.Observe(-5 * time.Millisecond) // clamped to zero, first bucket
+
+	want := `# HELP test_events_total Events observed.
+# TYPE test_events_total counter
+test_events_total 42
+# HELP test_inflight Requests in flight.
+# TYPE test_inflight gauge
+test_inflight 7
+# HELP test_latency_seconds Operation latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.001"} 2
+test_latency_seconds_bucket{le="0.01"} 3
+test_latency_seconds_bucket{le="0.1"} 4
+test_latency_seconds_bucket{le="+Inf"} 5
+test_latency_seconds_sum 1.056
+test_latency_seconds_count 5
+# HELP test_ratio A scrape-time ratio.
+# TYPE test_ratio gauge
+test_ratio 0.25
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{code="2xx",route="/v1"} 3
+`
+	if got := render(t, reg); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("test_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1\n") {
+		t.Errorf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("test_total", "Help with \\ and\nnewline.",
+		L("path", `a"b\c`+"\nd")).Inc()
+	got := render(t, reg)
+	if !strings.Contains(got, `# HELP test_total Help with \\ and\nnewline.`) {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `test_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound semantics at
+// nanosecond resolution: a value equal to a bound belongs to that bucket,
+// one nanosecond more spills into the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	bound := 2500 * time.Nanosecond // LatencyBuckets[1] = 2.5e-6
+	h.Observe(bound)
+	h.Observe(bound + time.Nanosecond)
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket[1] = %d, want 1 (bound is inclusive)", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("bucket[2] = %d, want 1 (bound+1ns spills over)", got)
+	}
+}
+
+func TestHistogramOverflowAndClamp(t *testing.T) {
+	h := NewHistogram([]float64{0.001})
+	h.Observe(time.Hour)    // way past the last bound
+	h.Observe(-time.Second) // negative clamps to zero
+	h.Observe(0)            // zero is ≤ every positive bound
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", got)
+	}
+	if got := h.counts[0].Load(); got != 2 {
+		t.Errorf("first bucket = %d, want 2 (zero and clamped negative)", got)
+	}
+	if got := h.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	// The negative observation must not drag the sum below the true total.
+	if _, _, sum := h.snapshot(); sum != 3600 {
+		t.Errorf("sum = %v, want 3600", sum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		nil,
+		{},
+		{0},
+		{-1, 1},
+		{0.1, 0.1},
+		{0.2, 0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v): expected panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	reg.NewCounter("test_total", "x", L("a", "1"))
+	mustPanic("invalid metric name", func() { reg.NewCounter("9bad", "x") })
+	mustPanic("duplicate series", func() { reg.NewCounter("test_total", "x", L("a", "1")) })
+	mustPanic("kind conflict", func() { reg.NewGauge("test_total", "x") })
+	mustPanic("reserved le label", func() { reg.NewCounter("test_other_total", "x", L("le", "1")) })
+	mustPanic("invalid label name", func() { reg.NewCounter("test_other_total", "x", L("bad-name", "1")) })
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines while scraping concurrently; run under -race this is the data
+// race proof, and the final totals prove no increment is lost.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_total", "x")
+	g := reg.NewGauge("test_gauge", "x")
+	h := reg.NewHistogram("test_seconds", "x", LatencyBuckets)
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	// Scrape while the writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			reg.WritePrometheus(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+// TestAttachCounterSharesInstrument proves the one-source-of-truth wiring:
+// a zero-value Counter embedded elsewhere and attached later is the same
+// instrument the registry renders.
+func TestAttachCounterSharesInstrument(t *testing.T) {
+	var c Counter
+	c.Inc()
+	reg := NewRegistry()
+	reg.AttachCounter(&c, "test_total", "x")
+	c.Add(2)
+	if got := render(t, reg); !strings.Contains(got, "test_total 3\n") {
+		t.Errorf("attached counter not shared:\n%s", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"mcsched/internal/admission"
 	"mcsched/internal/journal"
 	"mcsched/internal/mcsio"
+	"mcsched/internal/obs"
 )
 
 // Wire paths of the replication protocol, relative to a follower's base
@@ -80,6 +81,10 @@ type Shipper struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	started atomic.Bool
+
+	// shipSeconds late-binds the frame-send latency histogram installed by
+	// RegisterMetrics; a nil load means sends are not timed.
+	shipSeconds atomic.Pointer[obs.Histogram]
 }
 
 // work is one queued unit for a link: ship a tenant's pending records, or
@@ -568,6 +573,10 @@ func (l *link) fetchStatus(ctx context.Context) (mcsio.ReplStatusJSON, error) {
 // parseable ack is a cursor resync, not an error; any other non-200 comes
 // back with a zero ack for the caller to judge.
 func (l *link) post(ctx context.Context, f mcsio.ReplFrameJSON) (mcsio.ReplAckJSON, int, error) {
+	if h := l.s.shipSeconds.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start)) }()
+	}
 	body, err := mcsio.EncodeReplFrame(f)
 	if err != nil {
 		return mcsio.ReplAckJSON{}, 0, fmt.Errorf("encode %s frame: %w", f.Kind, err)

@@ -14,6 +14,7 @@ import (
 	"mcsched/internal/core"
 	"mcsched/internal/mcs"
 	"mcsched/internal/mcsio"
+	"mcsched/internal/obs"
 	"mcsched/internal/replication"
 	"mcsched/internal/taskgen"
 )
@@ -321,6 +322,30 @@ func RecoverAdmissionController(cfg AdmissionConfig) (*AdmissionController, Admi
 // DefaultAdmissionConfig returns the production defaults (16 stripes, 4096
 // cached verdicts, journaling off).
 func DefaultAdmissionConfig() AdmissionConfig { return admission.DefaultConfig() }
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+// MetricsRegistry collects allocation-free counters, gauges and latency
+// histograms and renders them in the Prometheus text exposition format
+// (Handler / WritePrometheus). Hand one to
+// AdmissionController.EnableMetrics, ReplicationShipper.RegisterMetrics
+// and ReplicationReceiver.RegisterMetrics; docs/operations.md lists every
+// series the daemon exports.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DecisionTrace explains one admit or probe decision: the placement policy
+// used and, per candidate core in scan order, how the schedulability
+// verdict was obtained. Produced by AdmissionSystem.AdmitExplain and
+// ProbeExplain, and served by the daemon's ?explain=1 query parameter.
+type DecisionTrace = admission.DecisionTrace
+
+// CoreTrace is one candidate-core probe within a DecisionTrace.
+type CoreTrace = admission.CoreTrace
 
 // ---------------------------------------------------------------------------
 // Journal replication (warm-standby followers)
