@@ -692,3 +692,53 @@ func BenchmarkJournalSnapshotWrite1k(b *testing.B) {
 		}
 	}
 }
+
+// simBenchPartition builds a deterministic multi-core partition for the
+// simulation benches. Periods are drawn from a divisor chain with
+// hyperperiod 2000, so the benchmark horizon of exactly one hyperperiod
+// exercises every release phase; utilizations stay low enough that the
+// runs are miss-free (no witness re-run distorting the number).
+func simBenchPartition(cores, perCore int) Partition {
+	periods := []Ticks{40, 50, 80, 100, 200, 400, 500, 1000}
+	p := Partition{Cores: make([]TaskSet, cores)}
+	id := 0
+	for k := range p.Cores {
+		ts := make(TaskSet, 0, perCore)
+		for i := 0; i < perCore; i++ {
+			t := periods[(k+i)%len(periods)]
+			if i%2 == 0 {
+				ts = append(ts, NewHCTask(id, 1, 2, t))
+			} else {
+				ts = append(ts, NewLCTask(id, 1, t))
+			}
+			id++
+		}
+		p.Cores[k] = ts
+	}
+	return p
+}
+
+func benchSimulateSystem(b *testing.B, cores, perCore int) {
+	b.Helper()
+	p := simBenchPartition(cores, perCore)
+	spec := SimSpec{Horizon: 2000, Scenario: SimRandom, Seed: 2017, OverrunProb: 0.1, Jitter: 0.2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateSystem(p, nil, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Released == 0 {
+			b.Fatal("simulation released no jobs")
+		}
+	}
+}
+
+// BenchmarkSimulateHyperperiodSmall: a 2-core, 10-task tenant over one
+// hyperperiod — the interactive what-if shape of the simulate endpoint.
+func BenchmarkSimulateHyperperiodSmall(b *testing.B) { benchSimulateSystem(b, 2, 5) }
+
+// BenchmarkSimulateHyperperiod1k: a 64-core, 1024-task tenant over one
+// hyperperiod — the full-system scale the daemon serves.
+func BenchmarkSimulateHyperperiod1k(b *testing.B) { benchSimulateSystem(b, 64, 16) }

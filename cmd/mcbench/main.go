@@ -425,6 +425,44 @@ func partition(strategy mcsched.Strategy, test mcsched.Test) func(*testing.B, *C
 	}
 }
 
+// simulateSystem is one whole-tenant runtime simulation over exactly one
+// hyperperiod of a low-utilization partition (periods drawn from a divisor
+// chain with hyperperiod 2000), mirroring BenchmarkSimulateHyperperiod* in
+// bench_test.go — the cost of one POST /v1/systems/{id}/simulate at the
+// interactive (2×5) and full-system (64×16) scale.
+func simulateSystem(cores, perCore int) func(*testing.B, *Counters) {
+	return func(b *testing.B, _ *Counters) {
+		periods := []mcsched.Ticks{40, 50, 80, 100, 200, 400, 500, 1000}
+		p := mcsched.Partition{Cores: make([]mcsched.TaskSet, cores)}
+		id := 0
+		for k := range p.Cores {
+			ts := make(mcsched.TaskSet, 0, perCore)
+			for i := 0; i < perCore; i++ {
+				t := periods[(k+i)%len(periods)]
+				if i%2 == 0 {
+					ts = append(ts, mcsched.NewHCTask(id, 1, 2, t))
+				} else {
+					ts = append(ts, mcsched.NewLCTask(id, 1, t))
+				}
+				id++
+			}
+			p.Cores[k] = ts
+		}
+		spec := mcsched.SimSpec{Horizon: 2000, Scenario: mcsched.SimRandom, Seed: 2017, OverrunProb: 0.1, Jitter: 0.2}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := mcsched.SimulateSystem(p, nil, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Released == 0 {
+				b.Fatal("simulation released no jobs")
+			}
+		}
+	}
+}
+
 func benches() []bench {
 	return []bench{
 		{"admit/single/cold", admitSingle(false, false, false)},
@@ -436,5 +474,7 @@ func benches() []bench {
 		{"admit/batch64/amc-cold", admitBatch64(mcsched.AMC(), false)},
 		{"partition/cuudp-amc", partition(mcsched.CUUDP(), mcsched.AMC())},
 		{"partition/cuudp-edfvd", partition(mcsched.CUUDP(), mcsched.EDFVD())},
+		{"simulate/hyperperiod-small", simulateSystem(2, 5)},
+		{"simulate/hyperperiod-1k", simulateSystem(64, 16)},
 	}
 }

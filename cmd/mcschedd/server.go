@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -57,6 +58,7 @@ func (s *server) routes() map[string]http.HandlerFunc {
 		"POST /v1/systems/{id}/probe":    s.handleDecide(false),
 		"POST /v1/systems/{id}/release":  s.handleRelease,
 		"POST /v1/systems/{id}/snapshot": s.handleSnapshot,
+		"POST /v1/systems/{id}/simulate": s.handleSimulate,
 		"GET /v1/stats":                  s.handleStats,
 		"GET " + replication.StatusPath:  s.handleReplicationStatus,
 		"POST " + replication.FramePath:  s.handleReplicationFrame,
@@ -369,6 +371,45 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	js, _ := sys.JournalStats()
 	reply(w, http.StatusOK, snapshotResponse{System: id, Journal: js})
+}
+
+// wantWitness reports whether the request asked for the first-miss witness
+// trace (body field or ?witness=1, mirroring the ?explain=1 convention).
+func wantWitness(r *http.Request) bool {
+	v := r.URL.Query().Get("witness")
+	return v == "1" || v == "true"
+}
+
+// handleSimulate executes a read-only what-if simulation of the tenant's
+// current partition under a strict wire scenario. The run never blocks
+// admissions — the tenant lock is held only while snapshotting — and the
+// response is deterministic for a fixed scenario, so clients can diff
+// results across placements.
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.ctrl.System(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, r, statusOf(err), err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("read request: %w", err))
+		return
+	}
+	scn, spec, err := mcsio.DecodeSimScenario(body)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if wantWitness(r) {
+		scn.Witness = true
+	}
+	out, err := sys.Simulate(spec)
+	if err != nil {
+		s.fail(w, r, statusOf(err), err)
+		return
+	}
+	reply(w, http.StatusOK, mcsio.SimResultToJSON(out.System, out.Test, scn, out.Result))
 }
 
 // statsResponse widens the controller stats with the replication view.

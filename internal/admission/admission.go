@@ -148,6 +148,7 @@ func (c Config) engine() *parallel.Engine {
 type counters struct {
 	admits, rejects, probes, releases obs.Counter
 	testsRun, cacheHits, dedups       obs.Counter
+	simulations                       obs.Counter
 }
 
 // tenantShard is one stripe of the tenant map.
@@ -423,15 +424,16 @@ func (c *Controller) journalTotals() JournalStats {
 // Stats snapshots the controller counters and gauges.
 func (c *Controller) Stats() Stats {
 	st := Stats{
-		Role:      RoleName(c.follower.Load()),
-		Admits:    c.stats.admits.Value(),
-		Rejects:   c.stats.rejects.Value(),
-		Probes:    c.stats.probes.Value(),
-		Releases:  c.stats.releases.Value(),
-		TestsRun:  c.stats.testsRun.Value(),
-		CacheHits: c.stats.cacheHits.Value(),
-		Dedups:    c.stats.dedups.Value(),
-		CacheSize: c.cache.len(),
+		Role:        RoleName(c.follower.Load()),
+		Admits:      c.stats.admits.Value(),
+		Rejects:     c.stats.rejects.Value(),
+		Probes:      c.stats.probes.Value(),
+		Releases:    c.stats.releases.Value(),
+		TestsRun:    c.stats.testsRun.Value(),
+		CacheHits:   c.stats.cacheHits.Value(),
+		Dedups:      c.stats.dedups.Value(),
+		CacheSize:   c.cache.len(),
+		Simulations: c.stats.simulations.Value(),
 	}
 	systems := c.allSystems()
 	st.Systems = len(systems)

@@ -12,6 +12,7 @@ import (
 // pays nothing.
 type Metrics struct {
 	admitSeconds, probeSeconds, releaseSeconds *obs.Histogram
+	simulateSeconds                            *obs.Histogram
 }
 
 // EnableMetrics registers the controller's observable state on r and turns
@@ -35,6 +36,8 @@ func (c *Controller) EnableMetrics(r *obs.Registry) {
 		"Analyses answered from the shared verdict cache.")
 	r.AttachCounter(&c.stats.dedups, "mcsched_admission_verdict_cache_dedups_total",
 		"Analyses answered by waiting on an identical in-flight analysis.")
+	r.AttachCounter(&c.stats.simulations, "mcsched_admission_simulations_total",
+		"Read-only what-if simulations executed against live tenants.")
 
 	// Gauges over live controller state, computed at scrape time.
 	r.GaugeFunc("mcsched_admission_systems",
@@ -94,6 +97,9 @@ func (c *Controller) EnableMetrics(r *obs.Registry) {
 			obs.LatencyBuckets),
 		releaseSeconds: r.NewHistogram("mcsched_admission_release_duration_seconds",
 			"Latency of release operations, including journaling.",
+			obs.LatencyBuckets),
+		simulateSeconds: r.NewHistogram("mcsched_admission_simulate_duration_seconds",
+			"Latency of read-only tenant simulations (snapshot, runtime derivation, engine run).",
 			obs.LatencyBuckets),
 	})
 

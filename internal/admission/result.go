@@ -96,6 +96,9 @@ type Stats struct {
 	IncrementalHits uint64 `json:"incremental_hits"`
 	ExactRuns       uint64 `json:"exact_runs"`
 	WarmStarts      uint64 `json:"warm_starts"`
+	// Simulations counts read-only what-if simulations executed against
+	// live tenants.
+	Simulations uint64 `json:"simulations"`
 	// CacheSize is the current number of cached verdicts.
 	CacheSize int `json:"cache_size"`
 	// Journal aggregates the per-tenant write-ahead-journal counters;

@@ -1,0 +1,197 @@
+package mcsio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcsched/internal/mcs"
+	"mcsched/internal/sim"
+)
+
+// validSimScenarios returns one well-formed wire scenario per kind.
+func validSimScenarios() []SimScenarioJSON {
+	return []SimScenarioJSON{
+		{Version: 1, Horizon: 1000, Scenario: "lo-steady"},
+		{Version: 1, Horizon: 1000, Scenario: "hi-storm", ResetOnIdle: true},
+		{Version: 1, Horizon: 5000, Scenario: "random", Seed: 42, OverrunProb: 0.25, Jitter: 0.5, Witness: true},
+		{Version: 1, Horizon: 200, Scenario: "single-overrun", OverrunTask: 3, OverrunJob: 1},
+		{Version: 1, Horizon: 200, Scenario: "minimal-overrun", OverrunTask: 2},
+	}
+}
+
+// TestSimScenarioRoundTrip: every kind encodes, decodes to an equal wire
+// form, and converts to the spec the engine expects.
+func TestSimScenarioRoundTrip(t *testing.T) {
+	for _, scn := range validSimScenarios() {
+		b, err := EncodeSimScenario(scn)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", scn.Scenario, err)
+		}
+		got, spec, err := DecodeSimScenario(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", scn.Scenario, err)
+		}
+		if got != scn {
+			t.Fatalf("%s: round trip changed the record:\n%+v\n%+v", scn.Scenario, scn, got)
+		}
+		if spec.Horizon != mcs.Ticks(scn.Horizon) || spec.Scenario != scn.Scenario ||
+			spec.Seed != scn.Seed || spec.OverrunProb != scn.OverrunProb ||
+			spec.Jitter != scn.Jitter || spec.OverrunTask != scn.OverrunTask ||
+			spec.OverrunJob != scn.OverrunJob || spec.ResetOnIdle != scn.ResetOnIdle {
+			t.Fatalf("%s: spec diverged from wire form: %+v vs %+v", scn.Scenario, spec, scn)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: decoded spec invalid: %v", scn.Scenario, err)
+		}
+	}
+}
+
+// TestSimScenarioVersionDefaults: encoding fills the version in; decoding
+// requires it.
+func TestSimScenarioVersionDefaults(t *testing.T) {
+	b, err := EncodeSimScenario(SimScenarioJSON{Horizon: 10, Scenario: "lo-steady"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"v":1`) {
+		t.Fatalf("version not defaulted: %s", b)
+	}
+	if _, _, err := DecodeSimScenario([]byte(`{"horizon":10,"scenario":"lo-steady"}`)); err == nil {
+		t.Fatal("decoded a scenario without a version")
+	}
+}
+
+// TestSimScenarioRejects: strict decoding fails closed on malformed,
+// smuggled and out-of-range records.
+func TestSimScenarioRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":       `{"v":1,"horizon":10,"scenario":"lo-steady","extra":1}`,
+		"trailing data":       `{"v":1,"horizon":10,"scenario":"lo-steady"}{}`,
+		"version skew":        `{"v":2,"horizon":10,"scenario":"lo-steady"}`,
+		"zero horizon":        `{"v":1,"horizon":0,"scenario":"lo-steady"}`,
+		"negative horizon":    `{"v":1,"horizon":-5,"scenario":"hi-storm"}`,
+		"horizon over cap":    `{"v":1,"horizon":1000001,"scenario":"lo-steady"}`,
+		"unknown kind":        `{"v":1,"horizon":10,"scenario":"chaos"}`,
+		"lo-steady with seed": `{"v":1,"horizon":10,"scenario":"lo-steady","seed":3}`,
+		"hi-storm with prob":  `{"v":1,"horizon":10,"scenario":"hi-storm","overrun_prob":0.5}`,
+		"random with target":  `{"v":1,"horizon":10,"scenario":"random","overrun_task":1}`,
+		"overrun with jitter": `{"v":1,"horizon":10,"scenario":"single-overrun","jitter":0.5}`,
+		"prob above one":      `{"v":1,"horizon":10,"scenario":"random","overrun_prob":1.5}`,
+		"negative jitter":     `{"v":1,"horizon":10,"scenario":"random","jitter":-0.5}`,
+		"negative task":       `{"v":1,"horizon":10,"scenario":"single-overrun","overrun_task":-1}`,
+		"negative job":        `{"v":1,"horizon":10,"scenario":"minimal-overrun","overrun_job":-1}`,
+		"not an object":       `[1,2]`,
+		"empty":               ``,
+	}
+	for name, raw := range cases {
+		if _, _, err := DecodeSimScenario([]byte(raw)); err == nil {
+			t.Errorf("%s accepted: %s", name, raw)
+		}
+	}
+}
+
+// simResultFixture runs a real two-core partition (one sound, one
+// overloaded) and renders it, so result-codec tests exercise documents the
+// engine actually produces.
+func simResultFixture(t *testing.T, witness bool) SimResultJSON {
+	t.Helper()
+	cores := []mcs.TaskSet{
+		{mcs.NewHC(0, 2, 4, 20)},
+		{mcs.NewLC(1, 7, 10), mcs.NewLC(2, 7, 10)},
+	}
+	scn := SimScenarioJSON{Version: 1, Horizon: 300, Scenario: "lo-steady", Witness: witness}
+	res, err := sim.SimulateSystem(cores, nil, scn.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SimResultToJSON("s1", "EDF-VD", scn, res)
+}
+
+// TestSimResultRoundTrip: an engine-produced result document survives the
+// strict encode/decode cycle byte-for-byte, witness included.
+func TestSimResultRoundTrip(t *testing.T) {
+	for _, witness := range []bool{false, true} {
+		doc := simResultFixture(t, witness)
+		if doc.OK {
+			t.Fatal("fixture should miss (core 1 is overloaded)")
+		}
+		if witness && doc.Witness == nil {
+			t.Fatal("requested witness missing")
+		}
+		if !witness && doc.Witness != nil {
+			t.Fatal("unrequested witness present")
+		}
+		b, err := EncodeSimResult(doc)
+		if err != nil {
+			t.Fatalf("witness=%t: encode: %v", witness, err)
+		}
+		got, err := DecodeSimResult(b)
+		if err != nil {
+			t.Fatalf("witness=%t: decode: %v", witness, err)
+		}
+		b2, err := EncodeSimResult(got)
+		if err != nil {
+			t.Fatalf("witness=%t: re-encode: %v", witness, err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("witness=%t: round trip not canonical:\n%s\n%s", witness, b, b2)
+		}
+		if witness {
+			w := got.Witness
+			if w == nil || w.Core != 1 || len(w.Events) == 0 || w.Gantt == "" {
+				t.Fatalf("witness lost in transit: %+v", w)
+			}
+			if w.Events[len(w.Events)-1].Kind != "miss" {
+				t.Fatalf("witness window must end at the miss: %+v", w.Events)
+			}
+		}
+	}
+}
+
+// TestSimResultRejects: internally inconsistent documents — ones the engine
+// cannot have produced — fail closed.
+func TestSimResultRejects(t *testing.T) {
+	mutate := func(f func(*SimResultJSON)) SimResultJSON {
+		doc := simResultFixture(t, true)
+		f(&doc)
+		return doc
+	}
+	cases := map[string]SimResultJSON{
+		"no system":       mutate(func(d *SimResultJSON) { d.System = "" }),
+		"no test":         mutate(func(d *SimResultJSON) { d.Test = "" }),
+		"version skew":    mutate(func(d *SimResultJSON) { d.Version = 9 }),
+		"ok with misses":  mutate(func(d *SimResultJSON) { d.OK = true }),
+		"total mismatch":  mutate(func(d *SimResultJSON) { d.Released++ }),
+		"core index":      mutate(func(d *SimResultJSON) { d.Cores[1].Core = 5 }),
+		"negative count":  mutate(func(d *SimResultJSON) { d.Cores[0].Released = -1; d.Released-- }),
+		"busy > horizon":  mutate(func(d *SimResultJSON) { d.Cores[0].Busy = d.Scenario.Horizon + 1 }),
+		"bad mode":        mutate(func(d *SimResultJSON) { d.Cores[0].FinishedMode = "MAYBE" }),
+		"miss presence":   mutate(func(d *SimResultJSON) { d.Cores[1].FirstMiss = nil }),
+		"witness core":    mutate(func(d *SimResultJSON) { d.Witness.Core = 7 }),
+		"witness no miss": mutate(func(d *SimResultJSON) { d.Witness.Miss.Mode = "??" }),
+		"event kind":      mutate(func(d *SimResultJSON) { d.Witness.Events[0].Kind = "explode" }),
+		"bad scenario":    mutate(func(d *SimResultJSON) { d.Scenario.Scenario = "chaos" }),
+	}
+	for name, doc := range cases {
+		if _, err := EncodeSimResult(doc); err == nil {
+			t.Errorf("%s: encode accepted", name)
+		}
+	}
+	// A witness on a sound result is also rejected (built by hand: the
+	// engine never produces it).
+	sound := simResultFixture(t, true)
+	sound.Cores = sound.Cores[:1]
+	sound.Cores[0].FirstMiss = nil
+	sound.Cores[0].Misses = 0
+	sound.Released = sound.Cores[0].Released
+	sound.Completed = sound.Cores[0].Completed
+	sound.Dropped = sound.Cores[0].Dropped
+	sound.Preemptions = sound.Cores[0].Preemptions
+	sound.Misses = 0
+	sound.Switches = sound.Cores[0].Switches
+	sound.OK = true
+	if _, err := EncodeSimResult(sound); err == nil {
+		t.Error("witness on a sound result accepted")
+	}
+}

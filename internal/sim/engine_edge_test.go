@@ -195,6 +195,106 @@ func TestSimulatePartitionAggregates(t *testing.T) {
 	}
 }
 
+// zeroDemand is a pathological scenario claiming every job needs zero
+// execution time.
+type zeroDemand struct{}
+
+func (zeroDemand) ExecTime(t mcs.Task, k int) mcs.Ticks { return 0 }
+func (zeroDemand) Gap(t mcs.Task, k int) mcs.Ticks      { return t.Period }
+
+// TestZeroWCETJobsClamp: zero-demand jobs clamp to one tick instead of
+// wedging the engine in a zero-progress loop; HC demand clamped below C^L
+// can never trigger a switch.
+func TestZeroWCETJobsClamp(t *testing.T) {
+	ts := mcs.TaskSet{mcs.NewLC(0, 3, 10), mcs.NewHC(1, 2, 4, 10)}
+	r := SimulateCore(ts, Config{Horizon: 100, Scenario: zeroDemand{}})
+	if r.Released != 20 || r.Completed != 20 {
+		t.Fatalf("released %d completed %d, want 20/20", r.Released, r.Completed)
+	}
+	if len(r.Misses) != 0 || len(r.Switches) != 0 {
+		t.Fatalf("zero-demand run missed or switched: %+v", r)
+	}
+	if r.Busy != 20 {
+		t.Fatalf("busy %d: each clamped job must cost exactly one tick", r.Busy)
+	}
+}
+
+// TestCompletionAtDeadlineBoundary: a fully utilizing task (C==D==T)
+// completes every job exactly at its deadline — the boundary is not a miss,
+// and the release train stays back-to-back.
+func TestCompletionAtDeadlineBoundary(t *testing.T) {
+	ts := mcs.TaskSet{mcs.NewLC(0, 10, 10)}
+	r := SimulateCore(ts, Config{Horizon: 100, Scenario: LoSteady{}})
+	if len(r.Misses) != 0 {
+		t.Fatalf("completion at the deadline counted as a miss: %v", r.Misses)
+	}
+	if r.Released != 10 || r.Completed != 10 || r.Busy != 100 {
+		t.Fatalf("boundary run bookkeeping: %+v", r)
+	}
+}
+
+// TestSwitchExactlyAtDeadlineTick: when the mode-switch instant coincides
+// with a pending LC deadline, the miss is recorded first (in LO mode) and
+// the job is then shed by the switch — one miss, one drop, switch at the
+// deadline tick.
+func TestSwitchExactlyAtDeadlineTick(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 5, 8, 20),            // overruns: switch at t=5
+		mcs.NewLCConstrained(1, 3, 50, 5), // deadline exactly at t=5
+	}
+	r := SimulateCore(ts, Config{
+		Horizon:    20,
+		Policy:     FixedPriority,
+		Priorities: map[int]int{0: 0, 1: 1},
+		Scenario:   SingleOverrun{OverrunTask: 0, OverrunJob: 0},
+	})
+	if len(r.Switches) != 1 || r.Switches[0] != 5 {
+		t.Fatalf("switch instants: %v, want [5]", r.Switches)
+	}
+	if len(r.Misses) != 1 || r.Misses[0].TaskID != 1 || r.Misses[0].Deadline != 5 || r.Misses[0].Mode != mcs.LO {
+		t.Fatalf("miss at the switch tick: %+v", r.Misses)
+	}
+	if r.DroppedJobs != 1 {
+		t.Fatalf("dropped %d, want the one pending LC job", r.DroppedJobs)
+	}
+}
+
+// TestReleaseAtSwitchInstantDropped: an LC release landing exactly on the
+// switch instant is suppressed as a drop, never admitted into HI mode.
+func TestReleaseAtSwitchInstantDropped(t *testing.T) {
+	ts := mcs.TaskSet{
+		mcs.NewHC(0, 5, 8, 20), // overruns: switch at t=5
+		mcs.NewLC(1, 2, 5),     // releases at 0,5,10,15: t=5 hits the switch
+	}
+	rec := &Recorder{Cap: 128}
+	r := SimulateCore(ts, Config{
+		Horizon:    20,
+		Policy:     FixedPriority,
+		Priorities: map[int]int{0: 0, 1: 1},
+		Scenario:   SingleOverrun{OverrunTask: 0, OverrunJob: 0},
+		Tracer:     rec,
+	})
+	if len(r.Switches) != 1 || r.Switches[0] != 5 {
+		t.Fatalf("switch instants: %v, want [5]", r.Switches)
+	}
+	// Job 0 is shed at the switch; releases 1..3 (t=5,10,15) are suppressed.
+	if r.DroppedJobs != 4 {
+		t.Fatalf("dropped %d, want 4", r.DroppedJobs)
+	}
+	sawSimultaneous := false
+	for _, e := range rec.Events {
+		if e.Kind == EvDrop && e.TaskID == 1 && e.Job == 1 && e.Time == 5 {
+			sawSimultaneous = true
+		}
+		if e.Kind == EvRelease && e.TaskID == 1 && e.Job >= 1 {
+			t.Fatalf("LC job %d admitted in HI mode at t=%d", e.Job, e.Time)
+		}
+	}
+	if !sawSimultaneous {
+		t.Fatalf("no drop event for the release at the switch instant:\n%+v", rec.Events)
+	}
+}
+
 // TestZeroHorizonAndEmptySet: degenerate configurations return zero-valued
 // results.
 func TestZeroHorizonAndEmptySet(t *testing.T) {

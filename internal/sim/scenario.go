@@ -100,3 +100,25 @@ func (s SingleOverrun) ExecTime(t mcs.Task, job int) mcs.Ticks {
 
 // Gap implements Scenario.
 func (SingleOverrun) Gap(t mcs.Task, _ int) mcs.Ticks { return t.Period }
+
+// MinimalOverrun is the criticality-at-boundary scenario: job OverrunJob of
+// task OverrunTask exceeds its LO budget by exactly one tick (C^L+1), the
+// smallest demand that triggers a mode switch — and the latest instant
+// within that job at which the switch can fire. Every other job behaves
+// like LoSteady. If the designated task is LC or has C^H = C^L, the engine
+// clamps the demand back to C^L and no switch occurs.
+type MinimalOverrun struct {
+	OverrunTask int
+	OverrunJob  int
+}
+
+// ExecTime implements Scenario.
+func (s MinimalOverrun) ExecTime(t mcs.Task, job int) mcs.Ticks {
+	if t.ID == s.OverrunTask && job == s.OverrunJob {
+		return t.CLo() + 1
+	}
+	return t.CLo()
+}
+
+// Gap implements Scenario.
+func (MinimalOverrun) Gap(t mcs.Task, _ int) mcs.Ticks { return t.Period }

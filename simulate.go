@@ -1,7 +1,7 @@
 package mcsched
 
 import (
-	"mcsched/internal/mcs"
+	"mcsched/internal/admission"
 	"mcsched/internal/sim"
 )
 
@@ -113,7 +113,7 @@ func ValidatePartitionBySimulation(p Partition, policy sim.PolicyKind, horizon T
 			if res := AnalyzeAMC(ts); res.Schedulable {
 				cfg.Priorities = res.Priority
 			} else {
-				cfg.Priorities = deadlineMonotonicPriorities(ts)
+				cfg.Priorities = sim.DeadlineMonotonicPriorities(ts)
 			}
 		}
 		for _, sc := range scenarios {
@@ -129,33 +129,65 @@ func ValidatePartitionBySimulation(p Partition, policy sim.PolicyKind, horizon T
 	return nil
 }
 
-// deadlineMonotonicPriorities assigns fixed priorities by increasing
+// DeadlineMonotonicPriorities assigns fixed priorities by increasing
 // relative deadline (ties: HC before LC, then by ID), the standard
-// constrained-deadline default.
-func deadlineMonotonicPriorities(ts TaskSet) map[int]int {
-	idx := make([]int, len(ts))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Insertion sort keeps this dependency-free and stable.
-	for i := 1; i < len(idx); i++ {
-		for j := i; j > 0 && dmLess(ts[idx[j]], ts[idx[j-1]]); j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
-		}
-	}
-	prio := make(map[int]int, len(ts))
-	for p, i := range idx {
-		prio[ts[i].ID] = p
-	}
-	return prio
+// constrained-deadline default for SimConfig.Priorities.
+func DeadlineMonotonicPriorities(ts TaskSet) map[int]int {
+	return sim.DeadlineMonotonicPriorities(ts)
 }
 
-func dmLess(a, b mcs.Task) bool {
-	if a.Deadline != b.Deadline {
-		return a.Deadline < b.Deadline
-	}
-	if a.IsHC() != b.IsHC() {
-		return a.IsHC()
-	}
-	return a.ID < b.ID
+// ---------------------------------------------------------------------------
+// System-level simulation
+// ---------------------------------------------------------------------------
+
+// SimSpec is a declarative, seeded scenario for a whole-partition
+// simulation: horizon, behaviour-model kind, seed, overrun selection. Two
+// runs of the same partition under the same spec are bit-identical.
+type SimSpec = sim.Spec
+
+// SimCoreRuntime binds one core's runtime algorithm and certified
+// parameters (virtual deadlines or fixed priorities).
+type SimCoreRuntime = sim.CoreRuntime
+
+// SystemSimResult aggregates a whole-partition run: per-core summaries,
+// cross-core totals, and the first-miss witness when a deadline was missed.
+type SystemSimResult = sim.SystemResult
+
+// SimCoreSummary is the compact per-core account of a system run.
+type SimCoreSummary = sim.CoreSummary
+
+// SimWitness reconstructs the first deadline miss of a system run: core,
+// miss, trailing event window and ASCII timeline.
+type SimWitness = sim.Witness
+
+// Scenario kinds for SimSpec.Scenario.
+const (
+	// SimLoSteady keeps every job at its LO budget (no mode switch).
+	SimLoSteady = sim.SpecLoSteady
+	// SimHiStorm runs every job to its HI budget (earliest switches).
+	SimHiStorm = sim.SpecHiStorm
+	// SimRandom draws demands and jitter deterministically from the seed.
+	SimRandom = sim.SpecRandom
+	// SimSingleOverrun overruns one designated job to C^H.
+	SimSingleOverrun = sim.SpecSingleOverrun
+	// SimMinimalOverrun overruns one designated job to C^L+1, the
+	// criticality-at-boundary case.
+	SimMinimalOverrun = sim.SpecMinimalOverrun
+)
+
+// SimulateSystem executes every core of the partition under the spec with
+// explicit per-core runtime configurations. Cores simulate concurrently and
+// the result is deterministic.
+func SimulateSystem(p Partition, rt []SimCoreRuntime, spec SimSpec) (SystemSimResult, error) {
+	return sim.SimulateSystem(p.Cores, rt, spec)
+}
+
+// SimulateAdmitted executes the partition under the runtime configuration
+// the named schedulability test certifies — virtual deadlines for the EDF
+// family, fixed priorities for AMC — exactly as the admission controller's
+// Simulate does for a live tenant. It is the soundness oracle of the fuzzed
+// admitted-implies-schedulable suite: a partition admitted under testName
+// must yield a miss-free result for every spec.
+func SimulateAdmitted(testName string, p Partition, spec SimSpec) (SystemSimResult, error) {
+	return sim.SimulateSystem(p.Cores, admission.RuntimeForPartition(testName, p.Cores), spec)
 }
