@@ -17,7 +17,11 @@ package mcsched
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
+
+	"mcsched/internal/mcsio"
 )
 
 // benchSets is the per-UB sample count of the figure benches. Small on
@@ -594,6 +598,151 @@ func BenchmarkJournalAdmitOn(b *testing.B) { benchJournalAdmit(b, true, false) }
 // BenchmarkJournalAdmitOnFsync additionally fsyncs per transition —
 // power-loss durability, dominated by the storage stack's flush latency.
 func BenchmarkJournalAdmitOnFsync(b *testing.B) { benchJournalAdmit(b, true, true) }
+
+// benchJournalAdmitWriters drives fsync-durable admit+release cycles from
+// `writers` concurrent goroutines against one tenant, with or without
+// group commit. Each worker cycles its own task ID, so every iteration is
+// two journal records (admit, release), each demanding durability before
+// the call returns. Under group commit concurrent appends share segment
+// writes and fsyncs, so ns/op at high writer counts measures the
+// coalescing win; without it every record pays its own fsync under the
+// journal lock.
+func benchJournalAdmitWriters(b *testing.B, writers int, group bool, delay time.Duration) {
+	cfg := DefaultAdmissionConfig()
+	cfg.SnapshotEvery = -1
+	cfg.DataDir = b.TempDir()
+	cfg.Fsync = true
+	cfg.GroupCommit = group
+	cfg.GroupCommitDelay = delay
+	ctrl := NewAdmissionController(cfg)
+	defer ctrl.Close()
+	// One core keeps the placement probe (serialized under the tenant
+	// lock) trivial, so the number isolates journal flushing: the staging
+	// rate, not the analysis, governs how full the shared batches get.
+	sys, err := ctrl.CreateSystem("bench", 1, EDFVD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	errs := make([]error, writers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		n := b.N / writers
+		if w < b.N%writers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			task := NewLCTask(w+1, 1, 1_000_000)
+			for i := 0; i < n; i++ {
+				res, err := sys.Admit(task)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !res.Admitted {
+					errs[w] = fmt.Errorf("writer %d: admit rejected", w)
+					return
+				}
+				if _, err := sys.Release(task.ID); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if js, ok := sys.JournalStats(); ok && js.GroupCommits > 0 {
+		b.ReportMetric(float64(js.Records)/float64(js.GroupCommits), "records/flush")
+	}
+}
+
+// groupCommitBenchDelay is the GroupCommitDelay of the "delay" bench mode:
+// a fraction of one storage flush, so a flush leader waits for the writers
+// the previous flush just acknowledged to stage their next records before
+// collecting the batch. Without it batches fragment into small cohorts —
+// a writer woken by flush N cannot stage before flush N+1 collects, so the
+// coalescing never reaches the writer count (the same dynamics behind the
+// commit_delay knob of classic databases).
+const groupCommitBenchDelay = 200 * time.Microsecond
+
+// BenchmarkJournalAdmitGroupCommit is the group-commit headline number:
+// fsync-durable admit+release throughput at 1, 16 and 64 concurrent
+// writers — the serial per-record fsync baseline versus group commit,
+// undelayed and with a commit delay. At one writer the serial and group
+// modes are equivalent (every batch has one record); the gap grows with
+// writer count as batches fill. The reported records/flush metric is the
+// achieved batching factor.
+func BenchmarkJournalAdmitGroupCommit(b *testing.B) {
+	modes := []struct {
+		name  string
+		group bool
+		delay time.Duration
+	}{
+		{"serial", false, 0},
+		{"group", true, 0},
+		{"group-delay", true, groupCommitBenchDelay},
+	}
+	for _, writers := range []int{1, 16, 64} {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%dw/%s", writers, mode.name), func(b *testing.B) {
+				benchJournalAdmitWriters(b, writers, mode.group, mode.delay)
+			})
+		}
+	}
+}
+
+// benchEventEncode measures encoding one representative admit event (the
+// dominant journal record kind) under the given codec.
+func benchEventEncode(b *testing.B, codec mcsio.Codec) {
+	task := mcsio.TaskToJSON(NewHCTask(7, 3, 6, 100))
+	ev := mcsio.EventJSON{Version: 1, Seq: 42, Kind: mcsio.EventAdmit, Task: &task, Core: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.EncodeEvent(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalEncode compares the two record encodings on the admit
+// hot path: canonical JSON versus the length-delimited binary framing
+// (magic + version + type + body + CRC-32C).
+func BenchmarkJournalEncode(b *testing.B) {
+	b.Run("json", func(b *testing.B) { benchEventEncode(b, mcsio.CodecJSON) })
+	b.Run("binary", func(b *testing.B) { benchEventEncode(b, mcsio.CodecBinary) })
+}
+
+// BenchmarkJournalDecode is the replay-side counterpart: strict decode +
+// validation of the same admit event from both encodings (auto-detected
+// per record, as recovery does).
+func BenchmarkJournalDecode(b *testing.B) {
+	task := mcsio.TaskToJSON(NewHCTask(7, 3, 6, 100))
+	ev := mcsio.EventJSON{Version: 1, Seq: 42, Kind: mcsio.EventAdmit, Task: &task, Core: 3}
+	for _, codec := range []mcsio.Codec{mcsio.CodecJSON, mcsio.CodecBinary} {
+		rec, err := codec.EncodeEvent(ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(codec), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mcsio.DecodeEvent(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // journalBenchTenant populates a journaled 64-core, 1024-task tenant and
 // returns its data dir. Light per-task utilization keeps every admit

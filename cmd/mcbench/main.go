@@ -21,17 +21,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"mcsched"
+	"mcsched/internal/mcsio"
+	"mcsched/internal/replication"
 )
 
 // reference holds the PR 3 hot-path numbers (commit 2a5a637, `go test
@@ -463,6 +468,165 @@ func simulateSystem(cores, perCore int) func(*testing.B, *Counters) {
 	}
 }
 
+// groupCommitDelay is the GroupCommitDelay of the group-commit benches: a
+// fraction of one storage flush, so a flush leader waits for the writers
+// the previous flush just acknowledged to stage their next records (see
+// BenchmarkJournalAdmitGroupCommit in bench_test.go).
+const groupCommitDelay = 200 * time.Microsecond
+
+// journalAdmitWriters is the group-commit workload: fsync-durable
+// admit+release cycles from `writers` concurrent goroutines against one
+// single-core tenant, each worker cycling its own task so every iteration
+// is two durable journal records. The serial/group pair at the same writer
+// count is the tracked coalescing factor of the group-commit tentpole.
+func journalAdmitWriters(writers int, group bool) func(*testing.B, *Counters) {
+	return func(b *testing.B, _ *Counters) {
+		dir, err := os.MkdirTemp("", "mcbench-journal-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg := mcsched.DefaultAdmissionConfig()
+		cfg.SnapshotEvery = -1
+		cfg.DataDir = dir
+		cfg.Fsync = true
+		cfg.GroupCommit = group
+		if group {
+			cfg.GroupCommitDelay = groupCommitDelay
+		}
+		ctrl := mcsched.NewAdmissionController(cfg)
+		defer ctrl.Close()
+		sys, err := ctrl.CreateSystem("bench", 1, mcsched.EDFVD())
+		if err != nil {
+			b.Fatal(err)
+		}
+		errs := make([]error, writers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			n := b.N / writers
+			if w < b.N%writers {
+				n++
+			}
+			wg.Add(1)
+			go func(w, n int) {
+				defer wg.Done()
+				task := mcsched.NewLCTask(w+1, 1, 1_000_000)
+				for i := 0; i < n; i++ {
+					res, err := sys.Admit(task)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if !res.Admitted {
+						errs[w] = fmt.Errorf("writer %d: admit rejected", w)
+						return
+					}
+					if _, err := sys.Release(task.ID); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w, n)
+		}
+		wg.Wait()
+		b.StopTimer()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// journalEncode measures encoding one representative admit event under the
+// given journal codec — the per-record serialization cost on the hot path.
+func journalEncode(codec mcsio.Codec) func(*testing.B, *Counters) {
+	return func(b *testing.B, _ *Counters) {
+		task := mcsio.TaskToJSON(mcsched.NewHCTask(7, 3, 6, 100))
+		ev := mcsio.EventJSON{Version: 1, Seq: 42, Kind: mcsio.EventAdmit, Task: &task, Core: 3}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.EncodeEvent(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// replStreamBatch64 is one 64-task batch admit's full replication round
+// trip (leader decide → journal → persistent stream → follower verify →
+// append → ack) under the binary codec — the tracked number of the
+// streaming transport.
+func replStreamBatch64() func(*testing.B, *Counters) {
+	return func(b *testing.B, _ *Counters) {
+		dir, err := os.MkdirTemp("", "mcbench-repl-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		lcfg := mcsched.DefaultAdmissionConfig()
+		lcfg.DataDir = dir + "/leader"
+		lcfg.SnapshotEvery = -1
+		lcfg.JournalCodec = mcsio.CodecBinary
+		leader := mcsched.NewAdmissionController(lcfg)
+		defer leader.Close()
+		fcfg := mcsched.DefaultAdmissionConfig()
+		fcfg.DataDir = dir + "/follower"
+		fcfg.SnapshotEvery = -1
+		fcfg.Follower = true
+		fctrl := mcsched.NewAdmissionController(fcfg)
+		srv := httptest.NewServer(replication.NewReceiver(fctrl).Mux())
+		ship, err := replication.NewShipper(leader, []string{srv.URL},
+			replication.ShipperConfig{Stream: true, Codec: mcsio.CodecBinary})
+		if err != nil {
+			b.Fatal(err)
+		}
+		leader.SetHooks(ship.Hooks())
+		ship.Start()
+		// Teardown order: stop the shipper (closing its stream) before the
+		// server and follower go away.
+		defer fctrl.Close()
+		defer srv.Close()
+		defer ship.Stop()
+
+		sys, err := leader.CreateSystem("bench", 8, mcsched.EDFVD())
+		if err != nil {
+			b.Fatal(err)
+		}
+		flush := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := ship.Flush(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		flush()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch := make(mcsched.TaskSet, 64)
+			ids := make([]int, 64)
+			for j := range batch {
+				id := i*64 + j
+				batch[j] = mcsched.NewLCTask(id, 1, 1_000_000)
+				ids[j] = id
+			}
+			br, err := sys.AdmitBatch(batch)
+			if err != nil || !br.Admitted {
+				b.Fatalf("batch rejected: %+v, %v", br, err)
+			}
+			flush()
+			if _, err := sys.Release(ids...); err != nil {
+				b.Fatal(err)
+			}
+			flush()
+		}
+	}
+}
+
 func benches() []bench {
 	return []bench{
 		{"admit/single/cold", admitSingle(false, false, false)},
@@ -476,5 +640,12 @@ func benches() []bench {
 		{"partition/cuudp-edfvd", partition(mcsched.CUUDP(), mcsched.EDFVD())},
 		{"simulate/hyperperiod-small", simulateSystem(2, 5)},
 		{"simulate/hyperperiod-1k", simulateSystem(64, 16)},
+		{"journal/admit-fsync-serial-64w", journalAdmitWriters(64, false)},
+		{"journal/admit-groupcommit-1w", journalAdmitWriters(1, true)},
+		{"journal/admit-groupcommit-16w", journalAdmitWriters(16, true)},
+		{"journal/admit-groupcommit-64w", journalAdmitWriters(64, true)},
+		{"journal/encode-json", journalEncode(mcsio.CodecJSON)},
+		{"journal/encode-binary", journalEncode(mcsio.CodecBinary)},
+		{"repl/stream-batch64", replStreamBatch64()},
 	}
 }

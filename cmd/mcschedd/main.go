@@ -13,12 +13,20 @@
 // journal is periodically compacted into snapshots (-snapshot-every, and
 // POST /v1/systems/{id}/snapshot on demand), and a restart replays the
 // data directory so no admitted task is lost. -fsync trades admit latency
-// for power-loss durability. On SIGINT/SIGTERM the daemon drains in-flight
-// requests, writes a final snapshot per tenant, and exits.
+// for power-loss durability; -group-commit wins most of that latency back
+// under concurrency by coalescing simultaneous appends into one shared
+// write+fsync (-group-commit-delay holds each flush briefly so more
+// concurrent decisions ride it), and -journal-codec binary swaps the JSON record framing for
+// a CRC-checked binary encoding (reads auto-detect either, so existing
+// data directories keep working). On SIGINT/SIGTERM the daemon drains
+// in-flight requests, writes a final snapshot per tenant, and exits.
 //
 // With -replicate-to the daemon ships every committed journal record to
 // one or more warm-standby followers over HTTP (snapshots transfer the
-// history a lagging follower can no longer stream); with -follow the
+// history a lagging follower can no longer stream); -repl-stream upgrades
+// the transport to one persistent full-duplex stream per follower,
+// eliminating the per-frame request overhead (followers without the
+// endpoint degrade to per-frame POSTs automatically); with -follow the
 // daemon is such a follower: it applies replicated frames through the
 // verified replay path, rejects writes with 409, and becomes a fully
 // writable leader on POST /v1/promote — holding bit-identical partitions,
@@ -68,6 +76,7 @@
 //	GET    /v1/stats                  controller counters (admits, cache hits, journal, replication, …)
 //	GET    /v1/replication            replication role + per-tenant positions / per-follower lag
 //	POST   /v1/replication/frame      apply one leader frame (follower mode only)
+//	POST   /v1/replication/stream     persistent leader frame stream (follower mode only)
 //	POST   /v1/promote                flip a follower writable (idempotent)
 //
 // Admit and probe accept ?explain=1 on single-task decisions and return
@@ -98,6 +107,7 @@ import (
 
 	"mcsched"
 	"mcsched/internal/admission"
+	"mcsched/internal/mcsio"
 	"mcsched/internal/obs"
 	"mcsched/internal/replication"
 )
@@ -112,6 +122,12 @@ func main() {
 		"directory for per-tenant write-ahead journals; empty runs in-memory only")
 	fsync := flag.Bool("fsync", false,
 		"fsync the journal after every committed transition (requires -data-dir)")
+	groupCommit := flag.Bool("group-commit", false,
+		"coalesce concurrent journal appends into shared write+fsync batches (requires -data-dir; most effective with -fsync)")
+	groupCommitDelay := flag.Duration("group-commit-delay", 0,
+		"hold each group-commit flush this long so more concurrent appends ride it (e.g. 200us; trades decision latency for batching; requires -group-commit)")
+	journalCodec := flag.String("journal-codec", "",
+		`journal and replication record encoding: "json" (default) or "binary" (CRC-framed, smaller and faster; requires -data-dir). Reads auto-detect either, so switching codecs on an existing data directory is safe`)
 	snapshotEvery := flag.Int("snapshot-every", admission.DefaultSnapshotEvery,
 		"journaled events per tenant between automatic snapshots (negative disables; requires -data-dir)")
 	opsAddr := flag.String("ops-addr", "",
@@ -122,6 +138,8 @@ func main() {
 		`structured log output format: "text" or "json"`)
 	replicateTo := flag.String("replicate-to", "",
 		"comma-separated follower base URLs (e.g. http://standby:8080) to ship the journal to (requires -data-dir)")
+	replStream := flag.Bool("repl-stream", false,
+		"ship journal frames over one persistent stream per follower instead of per-frame POSTs (requires -replicate-to; falls back to POSTs against followers without the stream endpoint)")
 	follow := flag.Bool("follow", false,
 		"start as a warm-standby follower: apply replicated frames, reject writes until POST /v1/promote (requires -data-dir)")
 	flag.Parse()
@@ -146,6 +164,22 @@ func main() {
 	if *dataDir == "" && (*fsync || *snapshotEvery != admission.DefaultSnapshotEvery) {
 		fatal("-fsync and -snapshot-every require -data-dir")
 	}
+	if *dataDir == "" && (*groupCommit || *journalCodec != "") {
+		fatal("-group-commit and -journal-codec require -data-dir")
+	}
+	if *groupCommitDelay != 0 && !*groupCommit {
+		fatal("-group-commit-delay requires -group-commit")
+	}
+	if *groupCommitDelay < 0 {
+		fatal("-group-commit-delay must be non-negative")
+	}
+	codec, err := mcsio.ParseCodec(*journalCodec)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if *replStream && *replicateTo == "" {
+		fatal("-repl-stream requires -replicate-to")
+	}
 	if *dataDir == "" && (*replicateTo != "" || *follow) {
 		fatal("-replicate-to and -follow require -data-dir")
 	}
@@ -161,14 +195,17 @@ func main() {
 	}
 
 	ctrl := admission.NewController(admission.Config{
-		Shards:        *shards,
-		CacheCapacity: *cacheCap,
-		Workers:       *workers,
-		DataDir:       *dataDir,
-		Fsync:         *fsync,
-		SnapshotEvery: *snapshotEvery,
-		Tests:         mcsched.TestByName,
-		Follower:      *follow,
+		Shards:           *shards,
+		CacheCapacity:    *cacheCap,
+		Workers:          *workers,
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
+		GroupCommit:      *groupCommit,
+		GroupCommitDelay: *groupCommitDelay,
+		JournalCodec:     codec,
+		SnapshotEvery:    *snapshotEvery,
+		Tests:            mcsched.TestByName,
+		Follower:         *follow,
 	})
 	// Metrics come up before recovery so the journals opened during replay
 	// already carry their instruments.
@@ -192,7 +229,11 @@ func main() {
 			followers[i] = strings.TrimSpace(followers[i])
 		}
 		var err error
+		// Frames carry the journal's codec: binary journal records only fit
+		// binary frames, and matching the codecs keeps the wire cost flat.
 		ship, err = replication.NewShipper(ctrl, followers, replication.ShipperConfig{
+			Codec:  codec,
+			Stream: *replStream,
 			Logf: func(format string, args ...any) {
 				logger.Warn(fmt.Sprintf(format, args...))
 			},

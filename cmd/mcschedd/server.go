@@ -62,6 +62,7 @@ func (s *server) routes() map[string]http.HandlerFunc {
 		"GET /v1/stats":                  s.handleStats,
 		"GET " + replication.StatusPath:  s.handleReplicationStatus,
 		"POST " + replication.FramePath:  s.handleReplicationFrame,
+		"POST " + replication.StreamPath: s.handleReplicationStream,
 		"POST /v1/promote":               s.handlePromote,
 	}
 }
@@ -468,6 +469,17 @@ func (s *server) handleReplicationFrame(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	s.recv.HandleFrame(w, r)
+}
+
+// handleReplicationStream accepts the leader's long-lived frame stream on
+// a follower; any other role answers 409 before the stream starts, the
+// same fencing HandleFrame applies per frame.
+func (s *server) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
+	if s.recv == nil {
+		s.fail(w, r, http.StatusConflict, admission.ErrNotFollower)
+		return
+	}
+	s.recv.HandleStream(w, r)
 }
 
 // handlePromote flips a follower writable; promoting a leader is an

@@ -45,11 +45,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mcsched/internal/analysis/kernel"
 	"mcsched/internal/analysis/parallel"
 	"mcsched/internal/core"
 	"mcsched/internal/journal"
+	"mcsched/internal/mcsio"
 	"mcsched/internal/obs"
 )
 
@@ -81,6 +83,28 @@ type Config struct {
 	// bounded by the OS flush interval; on, every acknowledged admit
 	// survives power loss at the cost of one fsync per decision.
 	Fsync bool
+	// JournalCodec selects the encoding of newly appended journal records
+	// and snapshots: mcsio.CodecJSON (which the empty value also selects)
+	// or mcsio.CodecBinary, the compact CRC-framed binary encoding.
+	// Decoding auto-detects per record, so a journal directory may mix
+	// codecs — switching an existing deployment is safe either way.
+	JournalCodec mcsio.Codec
+	// GroupCommit batches concurrent journal appends into shared flushes:
+	// a decision stages its record under the tenant lock and acknowledges
+	// durability outside it, so simultaneous decisions against one tenant
+	// coalesce into one segment write and (under Fsync) one fsync. The
+	// trade-off is the failure mode: a failed group flush poisons the
+	// tenant's journal fail-stop (every later mutation errors) instead of
+	// failing a single append, because decisions already applied
+	// optimistically cannot be disentangled from the lost batch.
+	GroupCommit bool
+	// GroupCommitDelay, when positive under GroupCommit, makes a flush
+	// leader wait that long before collecting its batch, so decisions
+	// acknowledged by the previous flush can stage their next records and
+	// ride along (the commit_delay of classic databases). Larger values
+	// trade single-decision latency for batching factor; zero never
+	// delays. Ignored without GroupCommit.
+	GroupCommitDelay time.Duration
 	// SnapshotEvery is the automatic snapshot cadence: after this many
 	// journaled events a tenant snapshots its full state and truncates
 	// its log. 0 selects DefaultSnapshotEvery; negative disables
@@ -103,13 +127,16 @@ type Config struct {
 }
 
 // Hooks observe controller transitions for the replication layer. Both
-// callbacks run synchronously on the mutating goroutine (Committed under
-// the tenant lock), so they must be fast and must not call back into the
-// controller.
+// callbacks run synchronously on the committing goroutine (Committed under
+// the tenant lock in serial-append mode, outside it under group commit),
+// so they must be fast and must not call back into the controller.
 type Hooks struct {
 	// Committed fires after a journal record is durably appended: the
 	// transition at seq is committed and readable via the tenant journal's
-	// ReadFrom.
+	// ReadFrom. Under Config.GroupCommit it fires on the acknowledging
+	// goroutine outside the tenant lock, and concurrent commits may report
+	// out of sequence order — treat it as a wake-up, not an ordered feed
+	// (the shipper reads actual records through ReadFrom regardless).
 	Committed func(tenant string, seq uint64)
 	// Removed fires after a tenant and its journal directory are deleted.
 	Removed func(tenant string)
@@ -127,6 +154,14 @@ func (c Config) withDefaults() Config {
 		c.CacheCapacity = 4096
 	}
 	return c
+}
+
+// codec returns the configured journal record encoding, defaulting to JSON.
+func (c Config) codec() mcsio.Codec {
+	if c.JournalCodec == "" {
+		return mcsio.CodecJSON
+	}
+	return c.JournalCodec
 }
 
 // engine returns the probe engine the configuration selects, or nil for the
@@ -284,6 +319,7 @@ func (c *Controller) newTenant(id string, m int, test core.Test) *System {
 	sys.follower = &c.follower
 	sys.hooks = &c.hooks
 	sys.metrics = &c.metrics
+	sys.codec = c.cfg.codec()
 	return sys
 }
 
@@ -414,6 +450,7 @@ func (c *Controller) journalTotals() JournalStats {
 		jt.Records += js.Records
 		jt.Bytes += js.Bytes
 		jt.Fsyncs += js.Fsyncs
+		jt.GroupCommits += js.GroupCommits
 		jt.Segments += js.Segments
 		jt.Snapshots += js.Snapshots
 		jt.TruncatedSegments += js.TruncatedSegments

@@ -9,12 +9,14 @@ package admission
 // events.
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"mcsched/internal/journal"
 	"mcsched/internal/mcs"
+	"mcsched/internal/mcsio"
 )
 
 // tenantSegment locates the single journal segment of the given tenant.
@@ -60,78 +62,87 @@ func crashConfig(dir string) Config {
 	return cfg
 }
 
+// crashCodecs is the codec dimension of the crash matrix: the atomicity
+// invariants must hold for both record encodings byte for byte.
+func crashCodecs() []mcsio.Codec {
+	return []mcsio.Codec{mcsio.CodecJSON, mcsio.CodecBinary}
+}
+
 // TestCrashRecoveryTornBatch kills the journal at every byte offset across
 // a batch-admit record and requires recovery to land on exactly the
 // pre-batch partitions for every torn prefix and exactly the post-batch
 // partitions once the record is complete.
 func TestCrashRecoveryTornBatch(t *testing.T) {
 	for _, test := range allTests() {
-		test := test
-		t.Run(test.Name(), func(t *testing.T) {
-			t.Parallel()
-			dir := t.TempDir()
-			cfg := crashConfig(dir)
-			live := NewController(cfg)
-			sys, err := live.CreateSystem("crash", 4, test)
-			if err != nil {
-				t.Fatal(err)
-			}
-			// Pre-batch residents.
-			for i := 0; i < 4; i++ {
-				if _, err := sys.Admit(mcs.NewLC(i, 1, 50+mcs.Ticks(i))); err != nil {
+		for _, codec := range crashCodecs() {
+			test, codec := test, codec
+			t.Run(fmt.Sprintf("%s/%s", test.Name(), codec), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				cfg := crashConfig(dir)
+				cfg.JournalCodec = codec
+				live := NewController(cfg)
+				sys, err := live.CreateSystem("crash", 4, test)
+				if err != nil {
 					t.Fatal(err)
 				}
-			}
-			preFP := fingerprint(sys)
-			preStat, err := os.Stat(tenantSegment(t, dir, "crash"))
-			if err != nil {
-				t.Fatal(err)
-			}
-			preLen := preStat.Size()
-
-			// The batch: one journal record covering 6 tasks.
-			batch := make(mcs.TaskSet, 0, 6)
-			for i := 10; i < 16; i++ {
-				batch = append(batch, mcs.NewHC(i, 1, 2, 60+mcs.Ticks(i)))
-			}
-			br, err := sys.AdmitBatch(batch)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !br.Admitted {
-				t.Fatalf("batch unexpectedly rejected under %s", test.Name())
-			}
-			postFP := fingerprint(sys)
-			fullStat, err := os.Stat(tenantSegment(t, dir, "crash"))
-			if err != nil {
-				t.Fatal(err)
-			}
-			fullLen := fullStat.Size()
-			live.Close()
-
-			if fullLen <= preLen {
-				t.Fatalf("batch appended nothing (%d -> %d bytes)", preLen, fullLen)
-			}
-			for cut := preLen; cut <= fullLen; cut++ {
-				cloneDir := truncatedCopy(t, dir, "crash", cut)
-				rec := NewController(crashConfig(cloneDir))
-				if _, err := rec.Recover(); err != nil {
-					t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+				// Pre-batch residents.
+				for i := 0; i < 4; i++ {
+					if _, err := sys.Admit(mcs.NewLC(i, 1, 50+mcs.Ticks(i))); err != nil {
+						t.Fatal(err)
+					}
 				}
-				rsys, err := rec.System("crash")
+				preFP := fingerprint(sys)
+				preStat, err := os.Stat(tenantSegment(t, dir, "crash"))
 				if err != nil {
-					t.Fatalf("cut=%d: %v", cut, err)
+					t.Fatal(err)
 				}
-				fp := fingerprint(rsys)
-				switch {
-				case cut < fullLen && fp != preFP:
-					t.Fatalf("cut=%d (torn batch record): state is neither pre-batch nor intact:\n%s", cut, fp)
-				case cut == fullLen && fp != postFP:
-					t.Fatalf("cut=%d (complete record): state is not post-batch:\n%s", cut, fp)
+				preLen := preStat.Size()
+
+				// The batch: one journal record covering 6 tasks.
+				batch := make(mcs.TaskSet, 0, 6)
+				for i := 10; i < 16; i++ {
+					batch = append(batch, mcs.NewHC(i, 1, 2, 60+mcs.Ticks(i)))
 				}
-				rec.Close()
-			}
-		})
+				br, err := sys.AdmitBatch(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !br.Admitted {
+					t.Fatalf("batch unexpectedly rejected under %s", test.Name())
+				}
+				postFP := fingerprint(sys)
+				fullStat, err := os.Stat(tenantSegment(t, dir, "crash"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fullLen := fullStat.Size()
+				live.Close()
+
+				if fullLen <= preLen {
+					t.Fatalf("batch appended nothing (%d -> %d bytes)", preLen, fullLen)
+				}
+				for cut := preLen; cut <= fullLen; cut++ {
+					cloneDir := truncatedCopy(t, dir, "crash", cut)
+					rec := NewController(crashConfig(cloneDir))
+					if _, err := rec.Recover(); err != nil {
+						t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+					}
+					rsys, err := rec.System("crash")
+					if err != nil {
+						t.Fatalf("cut=%d: %v", cut, err)
+					}
+					fp := fingerprint(rsys)
+					switch {
+					case cut < fullLen && fp != preFP:
+						t.Fatalf("cut=%d (torn batch record): state is neither pre-batch nor intact:\n%s", cut, fp)
+					case cut == fullLen && fp != postFP:
+						t.Fatalf("cut=%d (complete record): state is not post-batch:\n%s", cut, fp)
+					}
+					rec.Close()
+				}
+			})
+		}
 	}
 }
 
@@ -140,8 +151,19 @@ func TestCrashRecoveryTornBatch(t *testing.T) {
 // to be exactly the state after some prefix of committed events — no cut
 // may invent, lose or reorder a transition.
 func TestCrashRecoveryEveryOffset(t *testing.T) {
+	for _, codec := range crashCodecs() {
+		codec := codec
+		t.Run(string(codec), func(t *testing.T) {
+			t.Parallel()
+			crashRecoveryEveryOffset(t, codec)
+		})
+	}
+}
+
+func crashRecoveryEveryOffset(t *testing.T, codec mcsio.Codec) {
 	dir := t.TempDir()
 	cfg := crashConfig(dir)
+	cfg.JournalCodec = codec
 	live := NewController(cfg)
 	sys, err := live.CreateSystem("p", 2, allTests()[0])
 	if err != nil {
@@ -173,10 +195,18 @@ func TestCrashRecoveryEveryOffset(t *testing.T) {
 	for i, fp := range states {
 		valid[fp] = i
 	}
+	// Recover under the OTHER codec's config: decoding auto-detects per
+	// record, so the configured codec must only govern new appends.
+	recCodec := mcsio.CodecBinary
+	if codec == mcsio.CodecBinary {
+		recCodec = mcsio.CodecJSON
+	}
 	lastPrefix := -1
 	for cut := int64(0); cut <= int64(len(full)); cut++ {
 		cloneDir := truncatedCopy(t, dir, "p", cut)
-		rec := NewController(crashConfig(cloneDir))
+		recCfg := crashConfig(cloneDir)
+		recCfg.JournalCodec = recCodec
+		rec := NewController(recCfg)
 		rs, err := rec.Recover()
 		if err != nil {
 			t.Fatalf("cut=%d: recovery failed: %v", cut, err)

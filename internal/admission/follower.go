@@ -106,125 +106,166 @@ func (c *Controller) ApplyReplicatedRecords(tenant string, first uint64, recs []
 	if first == 0 || len(recs) == 0 {
 		return c.TenantNext(tenant), 0, fmt.Errorf("admission: empty replication batch")
 	}
+	// Durability waits accumulate across the frame and are acknowledged
+	// once at the end: under group commit the whole frame stages first and
+	// then rides a single flush (one fsync per frame instead of one per
+	// record). flush must run on every exit path that follows a staged
+	// record, and a flush failure outranks the record error it joins —
+	// the journal is then poisoned and the ack must carry the rewound tail.
+	var waits []func() error
+	flush := func() error {
+		var err error
+		for _, w := range waits {
+			if werr := w(); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		waits = nil
+		return err
+	}
 	for i, raw := range recs {
 		seq := first + uint64(i)
 		e, err := mcsio.DecodeEvent(raw)
 		if err != nil {
-			return c.TenantNext(tenant), applied, err
+			return c.TenantNext(tenant), applied, firstErr(flush(), err)
 		}
 		if e.Seq != seq {
-			return c.TenantNext(tenant), applied, fmt.Errorf(
-				"%w: record at position %d stamped %d", ErrReplayDivergence, seq, e.Seq)
+			return c.TenantNext(tenant), applied, firstErr(flush(), fmt.Errorf(
+				"%w: record at position %d stamped %d", ErrReplayDivergence, seq, e.Seq))
 		}
-		did, err := c.applyReplicatedRecord(tenant, e, raw)
+		wait, did, err := c.applyReplicatedRecord(tenant, e, raw)
+		if wait != nil {
+			waits = append(waits, wait)
+		}
 		if err != nil {
-			return c.TenantNext(tenant), applied, err
+			return c.TenantNext(tenant), applied, firstErr(flush(), err)
 		}
 		if did {
 			applied++
 		}
 	}
+	if err := flush(); err != nil {
+		return c.TenantNext(tenant), applied, err
+	}
 	return c.TenantNext(tenant), applied, nil
+}
+
+// firstErr returns the first non-nil error of its arguments.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // applyReplicatedRecord routes one verified-sequence record: tenant
 // bootstrap for create-system on an unknown tenant, the replay path
 // otherwise. It reports whether the record was applied (false for an
-// idempotently skipped redelivery). Caller holds c.replMu.
-func (c *Controller) applyReplicatedRecord(tenant string, e mcsio.EventJSON, raw []byte) (bool, error) {
+// idempotently skipped redelivery) and hands back the record's durability
+// wait (nil when already durable) for the caller to acknowledge after it
+// releases the tenant lock. Caller holds c.replMu.
+func (c *Controller) applyReplicatedRecord(tenant string, e mcsio.EventJSON, raw []byte) (func() error, bool, error) {
 	sys, err := c.System(tenant)
 	if errors.Is(err, ErrNoSystem) {
 		if e.Seq > 1 {
-			return false, fmt.Errorf("%w: tenant %q unknown but stream starts at %d", ErrReplicationGap, tenant, e.Seq)
+			return nil, false, fmt.Errorf("%w: tenant %q unknown but stream starts at %d", ErrReplicationGap, tenant, e.Seq)
 		}
 		if e.Kind != mcsio.EventCreateSystem {
-			return false, fmt.Errorf("%w: first record of %q is %s, not create-system", ErrReplayDivergence, tenant, e.Kind)
+			return nil, false, fmt.Errorf("%w: first record of %q is %s, not create-system", ErrReplayDivergence, tenant, e.Kind)
 		}
-		if err := c.bootstrapReplicatedTenant(tenant, e, raw); err != nil {
-			return false, err
+		wait, err := c.bootstrapReplicatedTenant(tenant, e, raw)
+		if err != nil {
+			return nil, false, err
 		}
-		return true, nil
+		return wait, true, nil
 	}
 	if err != nil {
-		return false, err
+		return nil, false, err
 	}
 
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
 	if sys.log == nil {
-		return false, fmt.Errorf("admission: replicated tenant %q has no journal", tenant)
+		return nil, false, fmt.Errorf("admission: replicated tenant %q has no journal", tenant)
 	}
 	localNext := sys.log.NextSeq()
 	if e.Seq < localNext {
-		return false, nil // already applied: idempotent redelivery
+		return nil, false, nil // already applied: idempotent redelivery
 	}
 	if e.Seq > localNext {
-		return false, fmt.Errorf("%w: record %d but local tail is %d", ErrReplicationGap, e.Seq, localNext)
+		return nil, false, fmt.Errorf("%w: record %d but local tail is %d", ErrReplicationGap, e.Seq, localNext)
 	}
-	if err := sys.applyReplicatedLocked(e, raw); err != nil {
-		return false, err
+	wait, err := sys.applyReplicatedLocked(e, raw)
+	if err != nil {
+		return nil, false, err
 	}
-	return true, nil
+	return wait, true, nil
 }
 
 // bootstrapReplicatedTenant creates a follower-side tenant from a
 // replicated create-system event, appending the leader's raw bytes as the
-// local journal's first record.
-func (c *Controller) bootstrapReplicatedTenant(tenant string, e mcsio.EventJSON, raw []byte) error {
+// local journal's first record. The returned wait (nil when already
+// durable) follows the appendPayloadLocked protocol.
+func (c *Controller) bootstrapReplicatedTenant(tenant string, e mcsio.EventJSON, raw []byte) (func() error, error) {
 	if e.System != tenant {
-		return fmt.Errorf("%w: create-system names %q", ErrReplayDivergence, e.System)
+		return nil, fmt.Errorf("%w: create-system names %q", ErrReplayDivergence, e.System)
 	}
 	if e.Processors > MaxProcessors {
-		return fmt.Errorf("%w: create-system with %d processors", ErrReplayDivergence, e.Processors)
+		return nil, fmt.Errorf("%w: create-system with %d processors", ErrReplayDivergence, e.Processors)
 	}
 	if len(tenant) > MaxSystemID {
-		return fmt.Errorf("admission: system ID longer than %d bytes", MaxSystemID)
+		return nil, fmt.Errorf("admission: system ID longer than %d bytes", MaxSystemID)
 	}
 	test, found := c.cfg.Tests(e.Test)
 	if !found {
-		return fmt.Errorf("admission: unknown schedulability test %q in replicated stream", e.Test)
+		return nil, fmt.Errorf("admission: unknown schedulability test %q in replicated stream", e.Test)
 	}
 	sys := c.newTenant(tenant, e.Processors, test)
 	lg, err := journal.Open(c.tenantDir(tenant), c.journalOptions())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if lg.NextSeq() != 1 {
 		lg.Close()
-		return fmt.Errorf("%w: tenant %q", ErrJournalExists, tenant)
+		return nil, fmt.Errorf("%w: tenant %q", ErrJournalExists, tenant)
 	}
 	sys.log = lg
 	sys.snapEvery = c.cfg.snapshotEvery()
 	sys.snapFailures = &c.snapFailures
-	if err := sys.appendPayloadLocked(raw); err != nil {
+	wait, err := sys.appendPayloadLocked(raw)
+	if err != nil {
 		lg.Close()
-		return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+		return nil, fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
 	}
 	if err := c.insertRecovered(sys); err != nil {
 		lg.Close()
-		return err
+		return nil, err
 	}
-	return nil
+	return wrapWait(wait, string(e.Kind)), nil
 }
 
 // applyReplicatedLocked verifies one replicated event against the live
-// placement, appends the leader's raw bytes as the local commit point, and
+// placement, stages the leader's raw bytes as the local commit point, and
 // applies the transition — the follower-side analogue of the live
 // validate → append → apply order. Verification failures mutate nothing,
 // so a tampered record is refused before it can poison the local journal.
-// Caller holds s.mu.
-func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) error {
+// The returned wait (nil when already durable) acknowledges durability and
+// must run after s.mu is released. Caller holds s.mu.
+func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) (func() error, error) {
+	var wait func() error
 	switch e.Kind {
 	case mcsio.EventAdmit:
 		t, err := mcsio.TaskFromJSON(*e.Task)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := s.verifyReplayedAdmit(t, e.Core); err != nil {
-			return err
+			return nil, err
 		}
-		if err := s.appendPayloadLocked(raw); err != nil {
-			return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+		if wait, err = s.appendPayloadLocked(raw); err != nil {
+			return nil, fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
 		}
 		s.commitPlaced(t, e.Core)
 		s.admits++
@@ -239,24 +280,25 @@ func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) error {
 			}
 		}
 		// Tentatively commit task by task so later placements see earlier
-		// ones — the same discipline as the live batch path — then append
+		// ones — the same discipline as the live batch path — then stage
 		// once the whole batch verifies.
 		for i, j := range e.Tasks {
 			t, err := mcsio.TaskFromJSON(j)
 			if err != nil {
 				rollback()
-				return err
+				return nil, err
 			}
 			if err := s.verifyReplayedAdmit(t, e.Cores[i]); err != nil {
 				rollback()
-				return err
+				return nil, err
 			}
 			s.commitPlaced(t, e.Cores[i])
 			placed = append(placed, t.ID)
 		}
-		if err := s.appendPayloadLocked(raw); err != nil {
+		var err error
+		if wait, err = s.appendPayloadLocked(raw); err != nil {
 			rollback()
-			return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+			return nil, fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
 		}
 		s.admits += uint64(len(e.Tasks))
 		s.ct.stats.admits.Add(uint64(len(e.Tasks)))
@@ -264,11 +306,12 @@ func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) error {
 	case mcsio.EventRelease:
 		for _, tid := range e.TaskIDs {
 			if !s.resident[tid] {
-				return fmt.Errorf("%w: release of non-resident task %d", ErrReplayDivergence, tid)
+				return nil, fmt.Errorf("%w: release of non-resident task %d", ErrReplayDivergence, tid)
 			}
 		}
-		if err := s.appendPayloadLocked(raw); err != nil {
-			return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+		var err error
+		if wait, err = s.appendPayloadLocked(raw); err != nil {
+			return nil, fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
 		}
 		for _, tid := range e.TaskIDs {
 			s.asn.Remove(tid)
@@ -280,10 +323,10 @@ func (s *System) applyReplicatedLocked(e mcsio.EventJSON, raw []byte) error {
 	default:
 		// A second create-system for a live tenant lands here too: its
 		// sequence matched the tail, so the stream is semantically corrupt.
-		return fmt.Errorf("%w: unexpected replicated event kind %q", ErrReplayDivergence, e.Kind)
+		return nil, fmt.Errorf("%w: unexpected replicated event kind %q", ErrReplayDivergence, e.Kind)
 	}
 	s.maybeSnapshotLocked()
-	return nil
+	return wrapWait(wait, string(e.Kind)), nil
 }
 
 // ApplyReplicatedSnapshot adopts a leader snapshot covering records 1..seq

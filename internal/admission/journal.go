@@ -58,7 +58,12 @@ func (c Config) journaling() bool { return c.DataDir != "" }
 // EnableMetrics must run before Recover for recovery-opened logs to
 // observe.
 func (c *Controller) journalOptions() journal.Options {
-	return journal.Options{Fsync: c.cfg.Fsync, Metrics: c.jm.Load()}
+	return journal.Options{
+		Fsync:         c.cfg.Fsync,
+		GroupCommit:   c.cfg.GroupCommit,
+		MaxBatchDelay: c.cfg.GroupCommitDelay,
+		Metrics:       c.jm.Load(),
+	}
 }
 
 func (c Config) snapshotEvery() int {
@@ -81,40 +86,88 @@ func (c *Controller) tenantDir(id string) string {
 // Append side (the commit point of every mutation)
 // ---------------------------------------------------------------------------
 
-// appendLocked encodes the event, stamps its sequence number and appends
-// it to the tenant journal. Caller holds s.mu (or exclusively owns an
-// unpublished system) and must call maybeSnapshotLocked after APPLYING the
-// event — a snapshot taken between append and apply would claim a sequence
-// whose state it does not contain.
-func (s *System) appendLocked(e mcsio.EventJSON) error {
+// appendLocked encodes the event in the tenant's configured codec, stamps
+// its sequence number and stages it on the tenant journal. Caller holds
+// s.mu (or exclusively owns an unpublished system) and must call
+// maybeSnapshotLocked after APPLYING the event — a snapshot taken between
+// append and apply would claim a sequence whose state it does not contain.
+//
+// The returned wait acknowledges durability. A nil wait means the record is
+// already durable and the Committed hook has fired (serial-append mode).
+// A non-nil wait must be called after s.mu is released: it blocks until the
+// group-commit flush covering the record completes, fires the hook, and on
+// failure reports ErrJournalIO — the log is then poisoned fail-stop, so the
+// optimistically applied in-memory transition can never be contradicted by
+// a later append the journal did accept.
+func (s *System) appendLocked(e mcsio.EventJSON) (func() error, error) {
 	e.Version = mcsio.EventFormatVersion
 	e.Seq = s.log.NextSeq()
-	b, err := mcsio.EncodeEvent(e)
+	b, err := s.codec.EncodeEvent(e)
 	if err != nil {
-		return fmt.Errorf("admission: encode %s event: %w", e.Kind, err)
+		return nil, fmt.Errorf("admission: encode %s event: %w", e.Kind, err)
 	}
-	if err := s.appendPayloadLocked(b); err != nil {
-		return fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
+	wait, err := s.appendPayloadLocked(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %w", ErrJournalIO, e.Kind, err)
 	}
-	return nil
+	return wrapWait(wait, string(e.Kind)), nil
 }
 
-// appendPayloadLocked appends pre-encoded record bytes — the shared commit
+// appendPayloadLocked stages pre-encoded record bytes — the shared commit
 // point of live encoding (appendLocked) and replicated raw records
-// (applyReplicatedLocked) — counts the record toward the snapshot cadence,
-// and fires the replication commit hook. Caller holds s.mu.
-func (s *System) appendPayloadLocked(b []byte) error {
-	seq, err := s.log.Append(b)
+// (applyReplicatedLocked) — and counts the record toward the snapshot
+// cadence. The replication commit hook fires at the durability point: at
+// stage time in serial mode, inside the returned wait under group commit.
+// Caller holds s.mu.
+func (s *System) appendPayloadLocked(b []byte) (func() error, error) {
+	seq, tk, err := s.log.AppendStage(b)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s.sinceSnap++
+	if tk == nil {
+		s.fireCommitted(seq)
+		return nil, nil
+	}
+	return func() error {
+		if err := tk.Wait(); err != nil {
+			return err
+		}
+		s.fireCommitted(seq)
+		return nil
+	}, nil
+}
+
+// fireCommitted notifies the replication layer of one durable append.
+func (s *System) fireCommitted(seq uint64) {
 	if s.hooks != nil {
 		if h := s.hooks.Load(); h != nil && h.Committed != nil {
 			h.Committed(s.id, seq)
 		}
 	}
-	return nil
+}
+
+// wrapWait decorates a durability wait with ErrJournalIO context; a nil
+// wait passes through (the record is already durable).
+func wrapWait(wait func() error, kind string) func() error {
+	if wait == nil {
+		return nil
+	}
+	return func() error {
+		if err := wait(); err != nil {
+			return fmt.Errorf("%w: %s: %w", ErrJournalIO, kind, err)
+		}
+		return nil
+	}
+}
+
+// waitCommitted runs a durability wait returned by the append path; a nil
+// wait (serial mode, or no journal at all) is already committed.
+func waitCommitted(wait func() error) error {
+	if wait == nil {
+		return nil
+	}
+	return wait()
 }
 
 // maybeSnapshotLocked runs the automatic snapshot cadence. It must only be
@@ -131,9 +184,10 @@ func (s *System) maybeSnapshotLocked() {
 }
 
 // journalAdmit records a decided single-task admit. No-op without a log.
-func (s *System) journalAdmit(t mcs.Task, core int) error {
+// The returned wait follows the appendLocked protocol.
+func (s *System) journalAdmit(t mcs.Task, core int) (func() error, error) {
 	if s.log == nil {
-		return nil
+		return nil, nil
 	}
 	j := mcsio.TaskToJSON(t)
 	return s.appendLocked(mcsio.EventJSON{Kind: mcsio.EventAdmit, Task: &j, Core: core})
@@ -141,9 +195,10 @@ func (s *System) journalAdmit(t mcs.Task, core int) error {
 
 // journalBatch records a decided all-or-nothing batch: the tasks in
 // placement order with their accepted cores aligned. No-op without a log.
-func (s *System) journalBatch(ordered mcs.TaskSet, results []AdmitResult) error {
+// The returned wait follows the appendLocked protocol.
+func (s *System) journalBatch(ordered mcs.TaskSet, results []AdmitResult) (func() error, error) {
 	if s.log == nil {
-		return nil
+		return nil, nil
 	}
 	e := mcsio.EventJSON{Kind: mcsio.EventAdmitBatch}
 	for i, t := range ordered {
@@ -153,10 +208,12 @@ func (s *System) journalBatch(ordered mcs.TaskSet, results []AdmitResult) error 
 	return s.appendLocked(e)
 }
 
-// journalRelease records a validated release. No-op without a log.
-func (s *System) journalRelease(ids []int) error {
+// journalRelease records a validated release. No-op without a log. The
+// returned wait follows the appendLocked protocol; ids is marshaled before
+// journalRelease returns, so callers may reuse the backing array.
+func (s *System) journalRelease(ids []int) (func() error, error) {
 	if s.log == nil {
-		return nil
+		return nil, nil
 	}
 	return s.appendLocked(mcsio.EventJSON{Kind: mcsio.EventRelease, TaskIDs: ids})
 }
@@ -175,7 +232,7 @@ func (s *System) writeSnapshotLocked() error {
 		Admits:     s.admits,
 		Releases:   s.releases,
 	}
-	b, err := mcsio.EncodeSnapshot(snap)
+	b, err := s.codec.EncodeSnapshot(snap)
 	if err != nil {
 		return fmt.Errorf("admission: encode snapshot: %w", err)
 	}
@@ -200,6 +257,7 @@ func (s *System) JournalStats() (JournalStats, bool) {
 		Records:           st.Records,
 		Bytes:             st.Bytes,
 		Fsyncs:            st.Fsyncs,
+		GroupCommits:      st.GroupCommits,
 		Segments:          st.Segments,
 		Snapshots:         st.Snapshots,
 		TruncatedSegments: st.Truncated,
@@ -228,12 +286,18 @@ func (c *Controller) attachNewJournal(sys *System, m int) error {
 	sys.log = lg
 	sys.snapEvery = c.cfg.snapshotEvery()
 	sys.snapFailures = &c.snapFailures
-	if err := sys.appendLocked(mcsio.EventJSON{
+	wait, err := sys.appendLocked(mcsio.EventJSON{
 		Kind:       mcsio.EventCreateSystem,
 		System:     sys.id,
 		Processors: m,
 		Test:       sys.ct.Name(),
-	}); err != nil {
+	})
+	if err == nil {
+		// Tenant creation is rare, so it waits for durability inline rather
+		// than joining the pipelined acknowledge path.
+		err = waitCommitted(wait)
+	}
+	if err != nil {
 		lg.Close()
 		sys.log = nil
 		return err

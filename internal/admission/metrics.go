@@ -120,6 +120,11 @@ func (c *Controller) EnableMetrics(r *obs.Registry) {
 		SnapshotSeconds: r.NewHistogram("mcsched_journal_snapshot_duration_seconds",
 			"Latency of durable snapshot writes including segment truncation.",
 			obs.LatencyBuckets),
+		// Bucket bounds are record counts, not seconds: each group-commit
+		// flush observes its batch size encoded one second per record.
+		BatchRecords: r.NewHistogram("mcsched_journal_batch_records",
+			"Records coalesced per group-commit flush (bucket bounds are record counts).",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 	})
 	jt := func(f func(JournalStats) uint64) func() uint64 {
 		return func() uint64 { return f(c.journalTotals()) }
@@ -133,6 +138,9 @@ func (c *Controller) EnableMetrics(r *obs.Registry) {
 	r.CounterFunc("mcsched_journal_fsyncs_total",
 		"Synchronous flushes (appends under fsync, snapshots, directory syncs).",
 		jt(func(j JournalStats) uint64 { return j.Fsyncs }))
+	r.CounterFunc("mcsched_journal_group_commits_total",
+		"Group-commit flushes: shared writes covering one or more staged records.",
+		jt(func(j JournalStats) uint64 { return j.GroupCommits }))
 	r.CounterFunc("mcsched_journal_snapshots_total",
 		"Snapshots written.",
 		jt(func(j JournalStats) uint64 { return j.Snapshots }))

@@ -339,8 +339,11 @@ func TestRecoverFailsClosed(t *testing.T) {
 		// Forge an admit event claiming core 1 where placement picks 0.
 		sys.mu.Lock()
 		j := mcsio.TaskToJSON(mcs.NewLC(2, 1, 10))
-		err = sys.appendLocked(mcsio.EventJSON{Kind: mcsio.EventAdmit, Task: &j, Core: 1})
+		wait, err := sys.appendLocked(mcsio.EventJSON{Kind: mcsio.EventAdmit, Task: &j, Core: 1})
 		sys.mu.Unlock()
+		if err == nil {
+			err = waitCommitted(wait)
+		}
 		if err != nil {
 			t.Fatal(err)
 		}

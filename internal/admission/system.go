@@ -12,6 +12,7 @@ import (
 	"mcsched/internal/core"
 	"mcsched/internal/journal"
 	"mcsched/internal/mcs"
+	"mcsched/internal/mcsio"
 )
 
 // System is one tenant: a live task-to-core assignment over m processors
@@ -44,8 +45,11 @@ type System struct {
 	// log is the tenant's write-ahead journal; nil when the controller
 	// runs without a data directory. sinceSnap counts appended events
 	// since the last snapshot; at snapEvery the system snapshots itself
-	// and truncates the log. All three are guarded by mu.
+	// and truncates the log. All three are guarded by mu. codec is the
+	// encoding of newly appended records (immutable after creation; the
+	// zero value encodes JSON, so directly built test systems work).
 	log       *journal.Log
+	codec     mcsio.Codec
 	snapEvery int
 	sinceSnap int
 	// snapFailures points at the controller-wide counter of failed
@@ -327,29 +331,44 @@ func (s *System) decide(t mcs.Task, commit bool, rec probeRecorder) (AdmitResult
 		start = time.Now()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if commit && s.followerMode() {
 		// A follower's state is owned by the replication stream; probes
 		// stay available so clients can ask "would this fit" on a replica.
+		s.mu.Unlock()
 		return AdmitResult{TaskID: t.ID, Core: -1}, ErrFollower
 	}
 	if err := s.validateIncoming(t); err != nil {
+		s.mu.Unlock()
 		return AdmitResult{TaskID: t.ID, Core: -1, Probed: !commit}, err
 	}
 	s.ct.resetTally()
 	res := s.placeTraced(t, rec)
 	res.Probed = !commit
+	var wait func() error
 	if commit && res.Admitted {
-		// Commit point: journal first, apply second. A failed append
-		// leaves the partitions untouched — the admit never happened.
-		if err := s.journalAdmit(t, res.Core); err != nil {
+		// Commit point: stage the journal record first, apply second. A
+		// failed staging leaves the partitions untouched — the admit never
+		// happened. Under group commit durability is acknowledged after the
+		// tenant lock is released (the wait below), which is what lets
+		// concurrent decisions coalesce into one fsync.
+		w, err := s.journalAdmit(t, res.Core)
+		if err != nil {
+			s.mu.Unlock()
 			return AdmitResult{TaskID: t.ID, Core: -1}, err
 		}
+		wait = w
 		s.commitPlaced(t, res.Core)
 		s.admits++
 		s.maybeSnapshotLocked()
 	}
 	res.Tests, res.CacheHits, res.Shared = s.ct.readTally()
+	s.mu.Unlock()
+	if err := waitCommitted(wait); err != nil {
+		// The placement was applied optimistically but its durability
+		// failed; the journal is now poisoned fail-stop, so no later
+		// decision can be acknowledged against the phantom state.
+		return AdmitResult{TaskID: t.ID, Core: -1}, err
+	}
 	switch {
 	case !commit:
 		s.ct.stats.probes.Inc()
@@ -393,16 +412,18 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 		start = time.Now()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if commit && s.followerMode() {
+		s.mu.Unlock()
 		return BatchResult{}, ErrFollower
 	}
 	seen := make(map[int]bool, len(ts))
 	for _, t := range ts {
 		if err := s.validateIncoming(t); err != nil {
+			s.mu.Unlock()
 			return BatchResult{}, err
 		}
 		if seen[t.ID] {
+			s.mu.Unlock()
 			return BatchResult{}, fmt.Errorf("%w: %d repeated in batch", ErrDuplicateTask, t.ID)
 		}
 		seen[t.ID] = true
@@ -433,17 +454,21 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 		}
 		placed = append(placed, t.ID)
 	}
+	var wait func() error
 	if out.Admitted && commit {
 		// Commit point: the whole batch becomes one journal record, so a
-		// crash replays either all of it or none of it. A failed append
+		// crash replays either all of it or none of it. A failed staging
 		// rolls the tentative placements back — the batch never happened.
-		if err := s.journalBatch(ordered, out.Results); err != nil {
+		w, err := s.journalBatch(ordered, out.Results)
+		if err != nil {
 			for _, id := range placed {
 				s.asn.Remove(id)
 				delete(s.resident, id)
 			}
+			s.mu.Unlock()
 			return BatchResult{}, err
 		}
+		wait = w
 		s.admits += uint64(len(out.Results))
 		s.maybeSnapshotLocked()
 	}
@@ -459,6 +484,12 @@ func (s *System) decideBatch(ts mcs.TaskSet, commit bool) (BatchResult, error) {
 		}
 	}
 	out.Tests, out.CacheHits, out.Shared = s.ct.readTally()
+	s.mu.Unlock()
+	if err := waitCommitted(wait); err != nil {
+		// Applied optimistically, durability failed: the journal is
+		// poisoned fail-stop (see decide).
+		return BatchResult{}, err
+	}
 	switch {
 	case !commit:
 		s.ct.stats.probes.Add(uint64(len(out.Results)))
@@ -493,8 +524,8 @@ func (s *System) Release(ids ...int) (int, error) {
 		start = time.Now()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.followerMode() {
+		s.mu.Unlock()
 		return 0, ErrFollower
 	}
 	var unique []int
@@ -503,6 +534,7 @@ func (s *System) Release(ids ...int) (int, error) {
 		// skip the dedup map and reuse the scratch buffer so the path stays
 		// allocation-free.
 		if !s.resident[ids[0]] {
+			s.mu.Unlock()
 			return 0, fmt.Errorf("%w: %d", ErrUnknownTask, ids[0])
 		}
 		s.relScratch = append(s.relScratch[:0], ids[0])
@@ -512,6 +544,7 @@ func (s *System) Release(ids ...int) (int, error) {
 		seen := make(map[int]bool, len(ids))
 		for _, id := range ids {
 			if !s.resident[id] {
+				s.mu.Unlock()
 				return 0, fmt.Errorf("%w: %d", ErrUnknownTask, id)
 			}
 			if !seen[id] {
@@ -520,10 +553,14 @@ func (s *System) Release(ids ...int) (int, error) {
 			}
 		}
 	}
-	// Commit point: journal the release, then apply it.
-	if err := s.journalRelease(unique); err != nil {
+	// Commit point: stage the release, then apply it; durability is
+	// acknowledged after the lock (see decide).
+	wait, err := s.journalRelease(unique)
+	if err != nil {
+		s.mu.Unlock()
 		return 0, err
 	}
+	n := len(unique)
 	for _, id := range unique {
 		s.asn.Remove(id)
 		delete(s.resident, id)
@@ -531,8 +568,12 @@ func (s *System) Release(ids ...int) (int, error) {
 		s.ct.stats.releases.Inc()
 	}
 	s.maybeSnapshotLocked()
+	s.mu.Unlock()
+	if err := waitCommitted(wait); err != nil {
+		return 0, err
+	}
 	if m != nil {
 		m.releaseSeconds.Observe(time.Since(start))
 	}
-	return len(unique), nil
+	return n, nil
 }

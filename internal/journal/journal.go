@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,8 +63,13 @@ const (
 	MaxRecord = 16 << 20
 
 	// DefaultSegmentBytes is the roll threshold when Options.SegmentBytes
-	// is unset. A segment may exceed it by at most one record.
+	// is unset. A segment may exceed it by at most one record (or, in
+	// group-commit mode, one batch).
 	DefaultSegmentBytes = 4 << 20
+
+	// DefaultMaxBatchRecords caps one group-commit batch when
+	// Options.MaxBatchRecords is unset.
+	DefaultMaxBatchRecords = 512
 )
 
 // castagnoli is the CRC-32C polynomial table (hardware-accelerated on
@@ -94,6 +100,22 @@ type Options struct {
 	// SegmentBytes is the size threshold at which a new segment starts.
 	// 0 selects DefaultSegmentBytes.
 	SegmentBytes int64
+	// GroupCommit batches concurrent appends into one write (and, with
+	// Fsync, one data sync): AppendStage assigns a sequence number and
+	// stages the framed record under a short lock, and the first Wait to
+	// arrive becomes the flush leader for every staged record. Durability
+	// semantics are unchanged — a successful Wait means exactly what a
+	// successful serial Append means — only the fsync cost is amortized
+	// across the records in flight.
+	GroupCommit bool
+	// MaxBatchRecords caps how many staged records one flush coalesces
+	// into a single write+sync. 0 selects DefaultMaxBatchRecords.
+	MaxBatchRecords int
+	// MaxBatchDelay, when positive, makes a flush leader hold the commit
+	// lock that long before collecting its batch, trading acknowledgement
+	// latency for larger batches under light concurrency. 0 (the default)
+	// never delays: a leader flushes whatever is staged when it arrives.
+	MaxBatchDelay time.Duration
 	// Metrics, when non-nil, turns on latency observation of appends,
 	// fsyncs and snapshots. Nil logs take no timestamps at all.
 	Metrics *Metrics
@@ -104,14 +126,18 @@ type Options struct {
 // of this process; gauges (Segments, SnapshotSeq, NextSeq) describe the
 // on-disk state.
 type Stats struct {
-	Records     uint64 `json:"records"`
-	Bytes       uint64 `json:"bytes"`
-	Fsyncs      uint64 `json:"fsyncs"`
-	Snapshots   uint64 `json:"snapshots"`
-	Truncated   uint64 `json:"truncated"`
-	Segments    uint64 `json:"segments"`
-	SnapshotSeq uint64 `json:"snapshot_seq"`
-	NextSeq     uint64 `json:"next_seq"`
+	Records uint64 `json:"records"`
+	Bytes   uint64 `json:"bytes"`
+	Fsyncs  uint64 `json:"fsyncs"`
+	// GroupCommits counts batched flushes: each is one write (and one
+	// fsync, in fsync mode) covering one or more staged records, so
+	// Records/GroupCommits is the achieved batching factor.
+	GroupCommits uint64 `json:"group_commits,omitempty"`
+	Snapshots    uint64 `json:"snapshots"`
+	Truncated    uint64 `json:"truncated"`
+	Segments     uint64 `json:"segments"`
+	SnapshotSeq  uint64 `json:"snapshot_seq"`
+	NextSeq      uint64 `json:"next_seq"`
 }
 
 // segment is one on-disk log file; first is the sequence number of its
@@ -122,6 +148,12 @@ type segment struct {
 }
 
 // Log is one tenant's write-ahead journal.
+//
+// Lock order: commitMu before mu. mu guards all in-memory state and is
+// held only for short, I/O-free critical sections on the staging path;
+// commitMu serializes flush leadership, snapshot writes and Close, and may
+// be held across file I/O (which happens with mu released, so staging is
+// never blocked behind the disk).
 type Log struct {
 	dir  string
 	opts Options
@@ -129,14 +161,28 @@ type Log struct {
 	mu         sync.Mutex
 	segs       []segment
 	active     *os.File // tail segment open for append; nil until first append
-	activeSize int64
+	activeSize int64    // bytes of acknowledged records in the active segment
 	nextSeq    uint64
+	ackedSeq   uint64 // highest sequence acknowledged durable; < nextSeq while staged records await flush
 	snapPath   string // latest snapshot file; "" when none
 	snapSeq    uint64
 	closed     bool
 	subs       []chan struct{} // append-notification subscribers (tail.go)
+	wbuf       []byte          // staged frames awaiting group flush, in sequence order
+	waiters    []*commitWaiter // one per staged record, aligned with wbuf
 
-	nRecords, nBytes, nFsyncs, nSnapshots, nTruncated uint64
+	nRecords, nBytes, nFsyncs, nSnapshots, nTruncated, nGroupCommits uint64
+
+	// commitMu elects the group-flush leader and serializes everything
+	// that moves the durable tail or retires the active segment.
+	commitMu sync.Mutex
+}
+
+// commitWaiter tracks one staged record through a group flush.
+type commitWaiter struct {
+	seq  uint64
+	n    int        // framed size in wbuf
+	done chan error // buffered; receives the commit outcome exactly once
 }
 
 // Open opens (creating if needed) the journal in dir, locates the latest
@@ -145,6 +191,9 @@ type Log struct {
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.MaxBatchRecords <= 0 {
+		opts.MaxBatchRecords = DefaultMaxBatchRecords
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
@@ -211,6 +260,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.active = f
 		l.activeSize = validSize
 	}
+	l.ackedSeq = l.nextSeq - 1
 	return l, nil
 }
 
@@ -252,7 +302,274 @@ func (l *Log) SnapshotSeq() uint64 {
 // With Options.Fsync the record is synced to stable storage before Append
 // returns. A failed append rolls the physical tail back so the rejected
 // record cannot occupy a sequence number a later append will reuse.
+//
+// In group-commit mode Append is AppendStage followed by Wait, so
+// concurrent Appends still coalesce into shared flushes.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	seq, tk, err := l.AppendStage(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := tk.Wait(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendStage assigns the payload a sequence number and schedules it for
+// durability, returning a Ticket whose Wait reports the commit outcome.
+// Callers that pipeline (apply in memory, then wait for durability outside
+// their own locks) are what group commit batches: the stage itself takes
+// only a short in-memory critical section.
+//
+// Without Options.GroupCommit the record is committed serially before
+// AppendStage returns and the Ticket is merely a handle on the already-
+// known outcome, so callers can use the stage/wait protocol uniformly.
+func (l *Log) AppendStage(payload []byte) (uint64, *Ticket, error) {
+	if !l.opts.GroupCommit {
+		seq, err := l.appendSerial(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return seq, nil, nil
+	}
+	m := l.opts.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, nil, ErrClosed
+	}
+	if len(payload) == 0 {
+		l.mu.Unlock()
+		return 0, nil, fmt.Errorf("journal: empty record")
+	}
+	if len(payload) > MaxRecord {
+		l.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	l.wbuf = appendFrame(l.wbuf, payload)
+	seq := l.nextSeq
+	l.nextSeq++
+	w := &commitWaiter{seq: seq, n: frameHeader + len(payload), done: make(chan error, 1)}
+	l.waiters = append(l.waiters, w)
+	l.mu.Unlock()
+	return seq, &Ticket{l: l, w: w, start: start}, nil
+}
+
+// Ticket is a pending group commit: a staged, sequence-assigned record
+// whose durability is not yet established. A nil Ticket (serial mode) is
+// an already-committed record.
+type Ticket struct {
+	l     *Log
+	w     *commitWaiter
+	start time.Time // zero unless metrics are enabled
+}
+
+// Wait blocks until the staged record is durable (per the fsync policy)
+// and returns the commit outcome. The first waiter to arrive becomes the
+// flush leader: it takes the commit lock and flushes every staged record,
+// coalescing all in-flight appends into one write and one fsync, while
+// later waiters park until the leader completes them. Wait is idempotent.
+func (t *Ticket) Wait() error {
+	if t == nil {
+		return nil // serial mode: committed at stage time
+	}
+	l := t.l
+	select {
+	case err := <-t.w.done:
+		t.w.done <- err // keep Wait idempotent
+		t.observe()
+		return err
+	default:
+	}
+	l.commitMu.Lock()
+	select {
+	case err := <-t.w.done:
+		// A previous leader committed us while we queued for leadership.
+		l.commitMu.Unlock()
+		t.w.done <- err
+		t.observe()
+		return err
+	default:
+	}
+	if d := l.opts.MaxBatchDelay; d > 0 {
+		// Deliberate accumulation: hold leadership so later arrivals stage
+		// behind us and ride this flush.
+		l.awaitBatch(d)
+	}
+	l.flushStagedLocked()
+	l.commitMu.Unlock()
+	err := <-t.w.done
+	t.w.done <- err
+	t.observe()
+	return err
+}
+
+// awaitBatch holds commit leadership for up to d so writers the previous
+// flush just acknowledged can stage their next records and ride this one.
+// It polls the staged count while yielding the processor instead of
+// sleeping on a timer: timer sleeps round up to the runtime's tick (often
+// a millisecond under load), which would dominate sub-millisecond flush
+// cycles and defeat the delay's purpose. Two early exits keep the delay
+// from taxing workloads that cannot fill a batch: a full batch flushes
+// immediately, and a staged count that stays flat across a burst of
+// yields means no writer is on its way (a lone appender would otherwise
+// pay the whole delay on every record for nothing). Caller holds
+// l.commitMu.
+func (l *Log) awaitBatch(d time.Duration) {
+	const quiesced = 16 // consecutive no-growth yields that end the wait
+	deadline := time.Now().Add(d)
+	last, flat := -1, 0
+	for time.Now().Before(deadline) {
+		l.mu.Lock()
+		n := len(l.waiters)
+		l.mu.Unlock()
+		if n >= l.opts.MaxBatchRecords {
+			return
+		}
+		if n == last {
+			if flat++; flat >= quiesced {
+				return
+			}
+		} else {
+			last, flat = n, 0
+		}
+		runtime.Gosched()
+	}
+}
+
+func (t *Ticket) observe() {
+	if m := t.l.opts.Metrics; m != nil && !t.start.IsZero() {
+		m.AppendSeconds.Observe(time.Since(t.start))
+		t.start = time.Time{} // idempotent Waits observe once
+	}
+}
+
+// flushStagedLocked drains every staged record in batches of at most
+// MaxBatchRecords: one write and (in fsync mode) one data sync per batch,
+// then completion of the batch's waiters. File I/O runs with mu released,
+// so staging continues while a batch is on the disk. Any I/O failure
+// poisons the log (see failStagedLocked). Caller holds l.commitMu.
+func (l *Log) flushStagedLocked() {
+	m := l.opts.Metrics
+	for {
+		l.mu.Lock()
+		if len(l.waiters) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		if l.closed {
+			l.failStagedLocked(ErrClosed)
+			l.mu.Unlock()
+			return
+		}
+		k := len(l.waiters)
+		if k > l.opts.MaxBatchRecords {
+			k = l.opts.MaxBatchRecords
+		}
+		// Copy the batch out: l.waiters' backing array is compacted after
+		// the flush while stagers keep appending to it.
+		batch := append(make([]*commitWaiter, 0, k), l.waiters[:k]...)
+		var nbytes int
+		for _, w := range batch {
+			nbytes += w.n
+		}
+		if l.active == nil || l.activeSize >= l.opts.SegmentBytes {
+			if err := l.rollToLocked(batch[0].seq); err != nil {
+				l.failStagedLocked(err)
+				l.mu.Unlock()
+				return
+			}
+		}
+		// The batch's frames are the staged buffer's prefix. Reading it
+		// after releasing mu is safe: stagers only append past nbytes (or
+		// into a fresh backing array), and compaction happens back under mu.
+		buf := l.wbuf[:nbytes:nbytes]
+		f := l.active
+		l.mu.Unlock()
+
+		_, err := f.Write(buf)
+		var syncDur time.Duration
+		if err == nil && l.opts.Fsync {
+			var syncStart time.Time
+			if m != nil {
+				syncStart = time.Now()
+			}
+			err = f.Sync()
+			if m != nil {
+				syncDur = time.Since(syncStart)
+			}
+		}
+
+		l.mu.Lock()
+		if err != nil {
+			l.failStagedLocked(fmt.Errorf("journal: group commit: %w", err))
+			l.mu.Unlock()
+			return
+		}
+		l.activeSize += int64(nbytes)
+		l.ackedSeq = batch[k-1].seq
+		l.nRecords += uint64(k)
+		l.nBytes += uint64(nbytes)
+		l.nGroupCommits++
+		if l.opts.Fsync {
+			l.nFsyncs++
+		}
+		l.wbuf = l.wbuf[:copy(l.wbuf, l.wbuf[nbytes:])]
+		l.waiters = l.waiters[:copy(l.waiters, l.waiters[k:])]
+		l.notifyLocked()
+		l.mu.Unlock()
+
+		if m != nil {
+			if l.opts.Fsync {
+				m.FsyncSeconds.Observe(syncDur)
+			}
+			// The batch-size histogram reuses duration buckets as record
+			// counts: one second == one record.
+			m.BatchRecords.Observe(time.Duration(k) * time.Second)
+		}
+		for _, w := range batch {
+			w.done <- nil
+		}
+	}
+}
+
+// failStagedLocked fails every in-flight group commit after a roll, write
+// or sync error and poisons the log. Unlike the serial path — which can
+// truncate the rejected record and continue because its caller has not yet
+// applied it — group-mode callers apply optimistically and wait for
+// durability afterwards, so their in-memory state already reflects these
+// records. Truncating and carrying on would let later appends journal
+// decisions validated against state the journal never recorded, and replay
+// would diverge. The only sound continuation is none: fail every waiter,
+// roll the physical tail back (best effort) and close the log — the
+// PostgreSQL fsync-failure discipline. Caller holds l.mu.
+func (l *Log) failStagedLocked(err error) {
+	for _, w := range l.waiters {
+		w.done <- err
+	}
+	l.waiters = nil
+	l.wbuf = nil
+	l.nextSeq = l.ackedSeq + 1
+	if l.active != nil {
+		// Best effort: scrub any written-but-unacknowledged frames so a
+		// later recovery replays only acknowledged history. If the
+		// truncate fails too, recovery may observe them — the log is
+		// closed either way, so no acknowledged sequence can collide.
+		l.active.Truncate(l.activeSize)
+		l.active.Close()
+		l.active = nil
+	}
+	l.closed = true
+}
+
+// appendSerial is the non-batching commit path: frame, write, sync and
+// acknowledge under one hold of mu.
+func (l *Log) appendSerial(payload []byte) (uint64, error) {
 	m := l.opts.Metrics
 	var start time.Time
 	if m != nil {
@@ -270,7 +587,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
 	if l.active == nil || l.activeSize >= l.opts.SegmentBytes {
-		if err := l.rollLocked(); err != nil {
+		if err := l.rollToLocked(l.nextSeq); err != nil {
 			return 0, err
 		}
 	}
@@ -300,6 +617,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.activeSize += int64(len(frame))
 	seq := l.nextSeq
 	l.nextSeq++
+	l.ackedSeq = seq
 	l.nRecords++
 	l.nBytes += uint64(len(frame))
 	l.notifyLocked()
@@ -322,14 +640,16 @@ func (l *Log) rollbackTailLocked() {
 	}
 }
 
-// rollLocked closes the active segment and starts a new one whose first
-// record will be nextSeq. Caller holds l.mu.
-func (l *Log) rollLocked() error {
+// rollToLocked closes the active segment and starts a new one whose first
+// record will be first — nextSeq on the serial path, the first sequence of
+// the pending batch on the group path (where nextSeq may already have
+// advanced past staged records). Caller holds l.mu.
+func (l *Log) rollToLocked(first uint64) error {
 	if l.active != nil {
 		l.active.Close()
 		l.active = nil
 	}
-	path := l.segPath(l.nextSeq)
+	path := l.segPath(first)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: roll segment: %w", err)
@@ -341,7 +661,7 @@ func (l *Log) rollLocked() error {
 	}
 	l.active = f
 	l.activeSize = size
-	l.segs = append(l.segs, segment{first: l.nextSeq, path: path})
+	l.segs = append(l.segs, segment{first: first, path: path})
 	if l.opts.Fsync {
 		l.syncDir()
 	}
@@ -350,11 +670,16 @@ func (l *Log) rollLocked() error {
 
 // frameRecord prepends the length+CRC header to the payload.
 func frameRecord(payload []byte) []byte {
-	frame := make([]byte, frameHeader+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
-	copy(frame[frameHeader:], payload)
-	return frame
+	return appendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
+}
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // syncDir fsyncs the journal directory so file creations and renames are
@@ -521,6 +846,12 @@ func (l *Log) Snapshot() (payload []byte, seq uint64, ok bool, err error) {
 // capture. Snapshots are fsynced and renamed into place regardless of the
 // fsync policy.
 func (l *Log) WriteSnapshot(payload []byte, seq uint64) error {
+	// Snapshot writes retire the active segment, so they are fenced behind
+	// the commit lock: any in-flight group flush completes (and staged
+	// records become durable) before the truncation point is judged.
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	l.flushStagedLocked()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -604,23 +935,33 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Stats{
-		Records:     l.nRecords,
-		Bytes:       l.nBytes,
-		Fsyncs:      l.nFsyncs,
-		Snapshots:   l.nSnapshots,
-		Truncated:   l.nTruncated,
-		Segments:    uint64(len(l.segs)),
-		SnapshotSeq: l.snapSeq,
-		NextSeq:     l.nextSeq,
+		Records:      l.nRecords,
+		Bytes:        l.nBytes,
+		Fsyncs:       l.nFsyncs,
+		GroupCommits: l.nGroupCommits,
+		Snapshots:    l.nSnapshots,
+		Truncated:    l.nTruncated,
+		Segments:     uint64(len(l.segs)),
+		SnapshotSeq:  l.snapSeq,
+		NextSeq:      l.nextSeq,
 	}
 }
 
-// Close releases the log's file handles. Further operations return
-// ErrClosed.
+// Close flushes any staged group commits and releases the log's file
+// handles. Further operations return ErrClosed.
 func (l *Log) Close() error {
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	l.flushStagedLocked()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
+		return nil
+	}
+	if len(l.waiters) > 0 {
+		// Staged between the flush above and here: those records lose the
+		// race with Close and are never durable.
+		l.failStagedLocked(ErrClosed)
 		return nil
 	}
 	l.closed = true

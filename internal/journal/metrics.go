@@ -17,4 +17,10 @@ type Metrics struct {
 	// SnapshotSeconds observes durable snapshot writes, including the
 	// rename, directory sync and segment truncation.
 	SnapshotSeconds *obs.Histogram
+	// BatchRecords observes the number of records each group-commit flush
+	// coalesced, encoded one-second-per-record (a batch of 8 records is
+	// observed as 8s), so the histogram's second-valued buckets read
+	// directly as records-per-fsync. Never observed outside group-commit
+	// mode.
+	BatchRecords *obs.Histogram
 }

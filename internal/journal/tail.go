@@ -73,6 +73,11 @@ func (l *Log) notifyLocked() {
 // Snapshot. ReadFrom holds the log lock for the duration of the read, so
 // it serializes against appends and truncation; batches should stay modest
 // (the replication shipper caps them) to keep append latency flat.
+//
+// The read is bounded by the durable tail: in group-commit mode a record
+// mid-flush may already be on disk without being acknowledged, and ReadFrom
+// never returns it — replicating a record whose commit could still fail
+// would let a follower hold history the leader disowns.
 func (l *Log) ReadFrom(from uint64, max int) (recs [][]byte, next uint64, err error) {
 	if from == 0 {
 		return nil, 0, fmt.Errorf("journal: read from sequence 0")
@@ -88,7 +93,8 @@ func (l *Log) ReadFrom(from uint64, max int) (recs [][]byte, next uint64, err er
 	if from <= l.snapSeq {
 		return nil, 0, fmt.Errorf("%w: sequence %d, snapshot covers 1..%d", ErrCompacted, from, l.snapSeq)
 	}
-	if from >= l.nextSeq {
+	durableNext := l.ackedSeq + 1
+	if from >= durableNext {
 		if from > l.nextSeq {
 			return nil, 0, fmt.Errorf("%w: read from %d but next sequence is %d", ErrGap, from, l.nextSeq)
 		}
@@ -115,7 +121,7 @@ func (l *Log) ReadFrom(from uint64, max int) (recs [][]byte, next uint64, err er
 			if seq < from {
 				return nil
 			}
-			if len(recs) >= max {
+			if seq >= durableNext || len(recs) >= max {
 				return errStopRead
 			}
 			recs = append(recs, append([]byte(nil), payload...))
@@ -139,6 +145,11 @@ func (l *Log) ReadFrom(from uint64, max int) (recs [][]byte, next uint64, err er
 // rewind committed history: seq below the local tail is an error, since
 // accepting it would let a replayed record reuse a sequence number.
 func (l *Log) InstallSnapshot(payload []byte, seq uint64) error {
+	// Like WriteSnapshot, fenced behind the commit lock: any in-flight
+	// group flush completes before the tail moves.
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	l.flushStagedLocked()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -155,5 +166,6 @@ func (l *Log) InstallSnapshot(payload []byte, seq uint64) error {
 		return err
 	}
 	l.nextSeq = seq + 1
+	l.ackedSeq = seq
 	return nil
 }

@@ -75,10 +75,14 @@ func EncodeEvent(e EventJSON) ([]byte, error) {
 	return json.Marshal(e)
 }
 
-// DecodeEvent strictly parses and validates one journaled event. Corrupt
-// or malformed records fail closed with an error; they never panic and
-// never yield a partially-valid event.
+// DecodeEvent strictly parses and validates one journaled event, auto-
+// detecting the codec from the first byte (BinaryMagic vs. JSON's '{').
+// Corrupt or malformed records fail closed with an error; they never panic
+// and never yield a partially-valid event.
 func DecodeEvent(b []byte) (EventJSON, error) {
+	if IsBinaryRecord(b) {
+		return decodeEventBinary(b)
+	}
 	var e EventJSON
 	dec := json.NewDecoder(bytes.NewReader(b))
 	dec.DisallowUnknownFields()
@@ -198,9 +202,21 @@ func EncodeSnapshot(s SnapshotJSON) ([]byte, error) {
 	return json.Marshal(s)
 }
 
-// DecodeSnapshot strictly parses and validates a tenant snapshot,
-// returning both the wire form and the decoded partition.
+// DecodeSnapshot strictly parses and validates a tenant snapshot, auto-
+// detecting the codec from the first byte, and returns both the wire form
+// and the decoded partition.
 func DecodeSnapshot(b []byte) (SnapshotJSON, core.Partition, error) {
+	if IsBinaryRecord(b) {
+		s, err := decodeSnapshotBinary(b)
+		if err != nil {
+			return SnapshotJSON{}, core.Partition{}, err
+		}
+		p, err := validateSnapshot(s)
+		if err != nil {
+			return SnapshotJSON{}, core.Partition{}, err
+		}
+		return s, p, nil
+	}
 	var s SnapshotJSON
 	dec := json.NewDecoder(bytes.NewReader(b))
 	dec.DisallowUnknownFields()

@@ -61,6 +61,9 @@ type ReplFrameJSON struct {
 }
 
 // EncodeReplFrame validates the frame and renders it as canonical JSON.
+// JSON frames embed records and snapshots as raw JSON documents, so they
+// cannot carry binary-framed payloads — use EncodeReplFrameBinary (which
+// carries records as length-prefixed blobs of either codec) for those.
 func EncodeReplFrame(f ReplFrameJSON) ([]byte, error) {
 	if f.Version == 0 {
 		f.Version = ReplFormatVersion
@@ -68,13 +71,25 @@ func EncodeReplFrame(f ReplFrameJSON) ([]byte, error) {
 	if err := validateReplFrame(f); err != nil {
 		return nil, err
 	}
+	for i, rec := range f.Records {
+		if IsBinaryRecord(rec) {
+			return nil, fmt.Errorf("mcsio: records frame record %d is binary-framed; JSON frames cannot carry binary records (use the binary frame codec)", i)
+		}
+	}
+	if IsBinaryRecord(f.Snapshot) {
+		return nil, fmt.Errorf("mcsio: snapshot frame payload is binary-framed; JSON frames cannot carry binary snapshots (use the binary frame codec)")
+	}
 	return json.Marshal(f)
 }
 
 // DecodeReplFrame strictly parses and validates one replication frame,
-// including every embedded record and snapshot payload. Anything malformed
-// fails closed with an error.
+// auto-detecting the frame codec from the first byte and including every
+// embedded record and snapshot payload (whose codecs are auto-detected
+// independently). Anything malformed fails closed with an error.
 func DecodeReplFrame(b []byte) (ReplFrameJSON, error) {
+	if IsBinaryRecord(b) {
+		return decodeReplFrameBinary(b)
+	}
 	var f ReplFrameJSON
 	dec := json.NewDecoder(bytes.NewReader(b))
 	dec.DisallowUnknownFields()

@@ -71,6 +71,7 @@ func (r *Receiver) Status() mcsio.ReplStatusJSON {
 func (r *Receiver) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+FramePath, r.HandleFrame)
+	mux.HandleFunc("POST "+StreamPath, r.HandleStream)
 	mux.HandleFunc("GET "+StatusPath, r.HandleStatus)
 	mux.HandleFunc("POST /v1/promote", r.HandlePromote)
 	return mux
@@ -96,6 +97,19 @@ func (r *Receiver) HandleFrame(w http.ResponseWriter, req *http.Request) {
 		r.reject(w, http.StatusBadRequest, err)
 		return
 	}
+	next, err := r.applyFrame(f)
+	if err != nil {
+		r.frameError(w, f.Tenant, next, err)
+		return
+	}
+	r.ack(w, f.Tenant, next)
+}
+
+// applyFrame dispatches one decoded frame into the controller and bumps
+// the applied counters — the shared apply step of the per-frame POST path
+// and the streaming path. next is the tenant's next expected sequence to
+// carry in the acknowledgement (the resync position on failure).
+func (r *Receiver) applyFrame(f mcsio.ReplFrameJSON) (next uint64, err error) {
 	switch f.Kind {
 	case mcsio.ReplRecords:
 		recs := make([][]byte, len(f.Records))
@@ -104,29 +118,26 @@ func (r *Receiver) HandleFrame(w http.ResponseWriter, req *http.Request) {
 		}
 		next, applied, err := r.ctrl.ApplyReplicatedRecords(f.Tenant, f.First, recs)
 		if err != nil {
-			r.frameError(w, f.Tenant, next, err)
-			return
+			return next, err
 		}
 		// Count only records actually applied: redelivered prefixes a
 		// leader retried are skipped idempotently and must not inflate the
 		// counter operators compare against the leader's tail.
 		r.appliedRecords.Add(uint64(applied))
-		r.ack(w, f.Tenant, next)
+		return next, nil
 	case mcsio.ReplSnapshot:
 		next, err := r.ctrl.ApplyReplicatedSnapshot(f.Tenant, f.Seq, f.Snapshot)
 		if err != nil {
-			r.frameError(w, f.Tenant, next, err)
-			return
+			return next, err
 		}
 		r.appliedSnapshots.Add(1)
-		r.ack(w, f.Tenant, next)
-	case mcsio.ReplRemove:
+		return next, nil
+	default: // mcsio.ReplRemove: DecodeReplFrame admits no other kind
 		if err := r.ctrl.ApplyReplicatedRemove(f.Tenant); err != nil {
-			r.frameError(w, f.Tenant, 1, err)
-			return
+			return 1, err
 		}
 		r.appliedRemoves.Add(1)
-		r.ack(w, f.Tenant, 1)
+		return 1, nil
 	}
 }
 

@@ -43,8 +43,22 @@ type ShipperConfig struct {
 	Retry    time.Duration
 	MaxRetry time.Duration
 	// Client issues the HTTP requests. Nil selects a client with a 10s
-	// timeout.
+	// timeout. Streaming links reuse its transport but not its timeout
+	// (which would kill the long-lived request); the timeout instead bounds
+	// each frame's round trip.
 	Client *http.Client
+	// Codec selects the frame encoding on the wire: mcsio.CodecJSON (which
+	// the empty value also selects) or mcsio.CodecBinary. A leader whose
+	// journals are binary-encoded must ship binary frames — the JSON frame
+	// document cannot carry binary records and the encoder refuses them.
+	Codec mcsio.Codec
+	// Stream switches each link from one POST per frame to a persistent
+	// full-duplex stream (StreamPath): frames flow length-prefixed down one
+	// long-lived request body and acks are read back from the response,
+	// shedding the per-frame connection, header and JSON-envelope overhead.
+	// A link falls back to POSTs when the follower does not serve the
+	// stream endpoint, so mixed-version pairs keep replicating.
+	Stream bool
 	// Logf, when set, receives one line per send failure.
 	Logf func(format string, args ...any)
 }
@@ -65,6 +79,9 @@ func (c ShipperConfig) withDefaults() ShipperConfig {
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 10 * time.Second}
 	}
+	if c.Codec == "" {
+		c.Codec = mcsio.CodecJSON
+	}
 	return c
 }
 
@@ -81,6 +98,12 @@ type Shipper struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	started atomic.Bool
+
+	// streamClient drives long-lived stream requests: the configured
+	// client's transport without its whole-request timeout. streamTimeout
+	// bounds one frame's write+ack round trip instead.
+	streamClient  *http.Client
+	streamTimeout time.Duration
 
 	// shipSeconds late-binds the frame-send latency histogram installed by
 	// RegisterMetrics; a nil load means sends are not timed.
@@ -109,6 +132,12 @@ type link struct {
 
 	wake chan struct{}
 
+	// sc is the live stream connection (nil between dials) and noStream the
+	// sticky POST fallback for followers without the stream endpoint. Both
+	// are touched only by the link's run goroutine.
+	sc       *streamConn
+	noStream bool
+
 	shippedRecords, shippedSnapshots, shippedRemoves, sendErrors atomic.Uint64
 }
 
@@ -123,6 +152,11 @@ func NewShipper(ctrl *admission.Controller, followers []string, cfg ShipperConfi
 	}
 	s := &Shipper{ctrl: ctrl, cfg: cfg.withDefaults()}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.streamTimeout = s.cfg.Client.Timeout
+	if s.streamTimeout <= 0 {
+		s.streamTimeout = 10 * time.Second
+	}
+	s.streamClient = &http.Client{Transport: s.cfg.Client.Transport}
 	for _, f := range followers {
 		u, err := url.Parse(f)
 		if err != nil || u.Scheme == "" || u.Host == "" {
@@ -361,6 +395,7 @@ func (l *link) setIdle(errText string) {
 }
 
 func (l *link) run(ctx context.Context) {
+	defer l.closeStream()
 	backoff := l.s.cfg.Retry
 	for {
 		w, ok := l.pop()
@@ -407,7 +442,7 @@ func (l *link) run(ctx context.Context) {
 // cursor is behind the leader's truncation horizon), or one removal.
 func (l *link) process(ctx context.Context, w work) error {
 	if w.remove {
-		_, status, err := l.post(ctx, mcsio.ReplFrameJSON{
+		_, status, err := l.send(ctx, mcsio.ReplFrameJSON{
 			Kind: mcsio.ReplRemove, Tenant: w.tenant,
 		})
 		if err != nil {
@@ -467,7 +502,7 @@ func (l *link) process(ctx context.Context, w work) error {
 		for i, r := range recs {
 			raw[i] = r
 		}
-		ack, status, err := l.post(ctx, mcsio.ReplFrameJSON{
+		ack, status, err := l.send(ctx, mcsio.ReplFrameJSON{
 			Kind: mcsio.ReplRecords, Tenant: w.tenant, First: cursor, Records: raw,
 		})
 		if err != nil {
@@ -497,7 +532,7 @@ func (l *link) shipSnapshot(ctx context.Context, tenant string, lg *journal.Log)
 	if !ok {
 		return fmt.Errorf("snapshot of %q: compacted journal without snapshot", tenant)
 	}
-	ack, status, err := l.post(ctx, mcsio.ReplFrameJSON{
+	ack, status, err := l.send(ctx, mcsio.ReplFrameJSON{
 		Kind: mcsio.ReplSnapshot, Tenant: tenant, Seq: seq, Snapshot: payload,
 	})
 	if err != nil {
@@ -569,15 +604,34 @@ func (l *link) fetchStatus(ctx context.Context) (mcsio.ReplStatusJSON, error) {
 	return mcsio.DecodeReplStatus(b)
 }
 
-// post sends one frame and parses the acknowledgement. A 409 with a
-// parseable ack is a cursor resync, not an error; any other non-200 comes
-// back with a zero ack for the caller to judge.
-func (l *link) post(ctx context.Context, f mcsio.ReplFrameJSON) (mcsio.ReplAckJSON, int, error) {
+// send ships one frame over the configured path: the persistent stream
+// when enabled (falling back permanently to POSTs against a follower that
+// does not serve it), a single POST otherwise. The returned status uses
+// HTTP status codes regardless of the wire path, so process judges both
+// identically.
+func (l *link) send(ctx context.Context, f mcsio.ReplFrameJSON) (mcsio.ReplAckJSON, int, error) {
 	if h := l.s.shipSeconds.Load(); h != nil {
 		start := time.Now()
 		defer func() { h.Observe(time.Since(start)) }()
 	}
-	body, err := mcsio.EncodeReplFrame(f)
+	if l.s.cfg.Stream && !l.noStream {
+		ack, status, err := l.streamSend(ctx, f)
+		if !errors.Is(err, errStreamUnsupported) {
+			return ack, status, err
+		}
+		l.noStream = true
+		if logf := l.s.cfg.Logf; logf != nil {
+			logf("replication: %s: no stream endpoint, falling back to per-frame POSTs", l.base)
+		}
+	}
+	return l.post(ctx, f)
+}
+
+// post sends one frame and parses the acknowledgement. A 409 with a
+// parseable ack is a cursor resync, not an error; any other non-200 comes
+// back with a zero ack for the caller to judge.
+func (l *link) post(ctx context.Context, f mcsio.ReplFrameJSON) (mcsio.ReplAckJSON, int, error) {
+	body, err := l.s.cfg.Codec.EncodeReplFrame(f)
 	if err != nil {
 		return mcsio.ReplAckJSON{}, 0, fmt.Errorf("encode %s frame: %w", f.Kind, err)
 	}
@@ -585,7 +639,11 @@ func (l *link) post(ctx context.Context, f mcsio.ReplFrameJSON) (mcsio.ReplAckJS
 	if err != nil {
 		return mcsio.ReplAckJSON{}, 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if l.s.cfg.Codec == mcsio.CodecBinary {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := l.s.cfg.Client.Do(req)
 	if err != nil {
 		return mcsio.ReplAckJSON{}, 0, err

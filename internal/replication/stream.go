@@ -1,0 +1,334 @@
+package replication
+
+// Persistent streaming replication: the hot-path alternative to one POST
+// per frame. The leader holds one long-lived POST to StreamPath per
+// follower and writes length-prefixed frames down the request body; the
+// receiver applies each frame as it arrives and writes a status-tagged
+// acknowledgement back through the (full-duplex) response body. The frame
+// payloads are the exact same wire documents the per-frame path carries —
+// JSON or binary per ShipperConfig.Codec, auto-detected on receipt — so
+// the stream adds no new trust surface: every frame still decodes strictly
+// and fails closed through the identical apply path.
+//
+// Uplink framing:   [4B little-endian frame length][frame bytes]
+// Downlink framing: [1B status][4B little-endian body length][body]
+//
+// where status is one of the streamAck* codes below and the body is a
+// ReplAckJSON (ok, conflict) or an {"error": ...} document (the rest). A
+// semantic rejection keeps the stream open — the framing is intact and the
+// next frame is independent; only transport or framing damage tears the
+// connection down, after which the leader redials with capped backoff via
+// the ordinary retry loop.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mcsched/internal/admission"
+	"mcsched/internal/mcsio"
+)
+
+// StreamPath is the streaming replication endpoint, mounted next to
+// FramePath on the follower's mux.
+const StreamPath = "/v1/replication/stream"
+
+// Downlink ack status codes. They mirror the per-frame path's HTTP
+// statuses one to one so the shipper can judge both paths with the same
+// switch.
+const (
+	streamAckOK          = 0 // frame applied; body is the ack (HTTP 200)
+	streamAckConflict    = 1 // sequence conflict; body carries the resync ack (HTTP 409)
+	streamAckBad         = 2 // fail-closed rejection; body is an error document (HTTP 400)
+	streamAckNotFollower = 3 // receiver is not a follower (HTTP 409, stale-leader fencing)
+	streamAckUnavailable = 4 // local journal I/O failure; retryable (HTTP 503)
+)
+
+// maxStreamAckBody bounds one downlink ack body.
+const maxStreamAckBody = 1 << 20
+
+// errStreamUnsupported marks a follower without the stream endpoint; the
+// link downgrades to per-frame POSTs permanently.
+var errStreamUnsupported = errors.New("replication: follower does not serve the stream endpoint")
+
+// ---------------------------------------------------------------------------
+// Receiver side
+// ---------------------------------------------------------------------------
+
+// HandleStream serves one streaming replication connection: a read loop
+// over length-prefixed frames, each applied exactly as a FramePath POST
+// would and acknowledged in arrival order. Requires a full-duplex-capable
+// server (net/http on HTTP/1.1 or HTTP/2); without it the handler answers
+// 501 and the leader falls back to POSTs.
+func (r *Receiver) HandleStream(w http.ResponseWriter, req *http.Request) {
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil {
+		http.Error(w, "streaming replication unsupported by this server", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// Commit the 200 before the first read so the leader's dial completes
+	// immediately instead of waiting for the first ack.
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	br := bufio.NewReader(req.Body)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // leader closed (or lost) the uplink; nothing to answer
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrameBody {
+			// Framing damage: the stream position is unrecoverable, so fail
+			// the connection closed rather than resynchronize on guesses.
+			r.rejectedFrames.Add(1)
+			r.writeStreamAck(w, rc, streamAckBad, errorDocument(fmt.Errorf("replication: %d-byte stream frame", n)))
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		f, err := mcsio.DecodeReplFrame(body)
+		if err != nil {
+			// Strict-decode rejection: fail closed but keep the stream — the
+			// length prefix preserved the frame boundary.
+			r.rejectedFrames.Add(1)
+			if r.writeStreamAck(w, rc, streamAckBad, errorDocument(err)) != nil {
+				return
+			}
+			continue
+		}
+		next, err := r.applyFrame(f)
+		if r.writeStreamResult(w, rc, f.Tenant, next, err) != nil {
+			return
+		}
+	}
+}
+
+// writeStreamResult maps one apply outcome onto the downlink framing —
+// the streaming analogue of HandleFrame's response mapping.
+func (r *Receiver) writeStreamResult(w io.Writer, rc *http.ResponseController, tenant string, next uint64, err error) error {
+	switch {
+	case err == nil:
+		body, encErr := mcsio.EncodeReplAck(mcsio.ReplAckJSON{Tenant: tenant, Next: next})
+		if encErr != nil {
+			return r.writeStreamAck(w, rc, streamAckUnavailable, errorDocument(encErr))
+		}
+		return r.writeStreamAck(w, rc, streamAckOK, body)
+	case errors.Is(err, admission.ErrReplicationGap):
+		r.rejectedFrames.Add(1)
+		if next == 0 {
+			next = 1
+		}
+		body, encErr := mcsio.EncodeReplAck(mcsio.ReplAckJSON{Tenant: tenant, Next: next})
+		if encErr != nil {
+			return r.writeStreamAck(w, rc, streamAckUnavailable, errorDocument(encErr))
+		}
+		return r.writeStreamAck(w, rc, streamAckConflict, body)
+	case errors.Is(err, admission.ErrNotFollower):
+		r.rejectedFrames.Add(1)
+		return r.writeStreamAck(w, rc, streamAckNotFollower, errorDocument(err))
+	case errors.Is(err, admission.ErrJournalIO):
+		r.rejectedFrames.Add(1)
+		return r.writeStreamAck(w, rc, streamAckUnavailable, errorDocument(err))
+	default:
+		r.rejectedFrames.Add(1)
+		return r.writeStreamAck(w, rc, streamAckBad, errorDocument(err))
+	}
+}
+
+// writeStreamAck frames one downlink acknowledgement and flushes it so the
+// leader's pending read completes without waiting for buffer pressure.
+func (r *Receiver) writeStreamAck(w io.Writer, rc *http.ResponseController, status byte, body []byte) error {
+	msg := make([]byte, 5+len(body))
+	msg[0] = status
+	binary.LittleEndian.PutUint32(msg[1:5], uint32(len(body)))
+	copy(msg[5:], body)
+	if _, err := w.Write(msg); err != nil {
+		return err
+	}
+	return rc.Flush()
+}
+
+// errorDocument renders an error as the protocol's JSON error body.
+func errorDocument(err error) []byte {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Shipper side
+// ---------------------------------------------------------------------------
+
+// streamConn is one live stream toward a follower: the uplink pipe feeding
+// the request body and the downlink response reader. Only the owning
+// link's run goroutine touches it.
+type streamConn struct {
+	pw     *io.PipeWriter
+	body   io.ReadCloser
+	br     *bufio.Reader
+	cancel context.CancelFunc
+}
+
+func (sc *streamConn) close() {
+	sc.cancel()
+	sc.pw.Close()
+	sc.body.Close()
+}
+
+// closeStream tears down the link's stream (if any); the next streamSend
+// redials.
+func (l *link) closeStream() {
+	if l.sc != nil {
+		l.sc.close()
+		l.sc = nil
+	}
+}
+
+// probeStream checks that the follower serves the stream endpoint. The
+// probe body is empty on purpose: a server refusing the route (404, 501,
+// a proxy's 502) drains the request body before flushing its response, so
+// probing with the real open-pipe request would deadlock — the server
+// waiting for body EOF, the client waiting for the verdict. A zero-length
+// POST drains instantly, and HandleStream treats it as an immediately
+// closed uplink and answers 200.
+func (l *link) probeStream(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, l.base+StreamPath, http.NoBody)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := l.s.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+		return errStreamUnsupported
+	}
+	return fmt.Errorf("stream probe: follower answered %d", resp.StatusCode)
+}
+
+// dialStream probes the endpoint, then opens the long-lived stream
+// request. The response arrives as soon as the receiver commits its 200
+// (before any frame flows); a deadline covers the dial so a server that
+// stalls the response — e.g. one that raced into a non-streaming version
+// after the probe and is now draining the open body — fails the attempt
+// instead of wedging the link.
+func (l *link) dialStream(ctx context.Context) (*streamConn, error) {
+	if err := l.probeStream(ctx); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, l.base+StreamPath, pr)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	dialTimer := time.AfterFunc(l.s.streamTimeout, cancel)
+	resp, err := l.s.streamClient.Do(req)
+	dialTimer.Stop()
+	if err != nil {
+		cancel()
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		pw.Close() // unblock the server's body drain before reading the verdict
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		cancel()
+		switch resp.StatusCode {
+		case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+			return nil, errStreamUnsupported
+		}
+		return nil, fmt.Errorf("stream: follower answered %d", resp.StatusCode)
+	}
+	return &streamConn{pw: pw, body: resp.Body, br: bufio.NewReader(resp.Body), cancel: cancel}, nil
+}
+
+// streamSend ships one frame over the stream (dialing on first use) and
+// reads its acknowledgement, translating the downlink status codes into
+// the HTTP statuses process already judges. Transport failures tear the
+// connection down and report an error; the retry loop's next attempt
+// redials, which is the reconnect-with-capped-backoff behavior — the
+// backoff lives in run, shared with the POST path.
+func (l *link) streamSend(ctx context.Context, f mcsio.ReplFrameJSON) (mcsio.ReplAckJSON, int, error) {
+	body, err := l.s.cfg.Codec.EncodeReplFrame(f)
+	if err != nil {
+		return mcsio.ReplAckJSON{}, 0, fmt.Errorf("encode %s frame: %w", f.Kind, err)
+	}
+	if l.sc == nil {
+		sc, err := l.dialStream(ctx)
+		if err != nil {
+			return mcsio.ReplAckJSON{}, 0, err
+		}
+		l.sc = sc
+	}
+	sc := l.sc
+	// Per-frame deadline: a wedged follower aborts the whole request,
+	// failing the pending read below; the next attempt redials.
+	timer := time.AfterFunc(l.s.streamTimeout, sc.cancel)
+	defer timer.Stop()
+
+	msg := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(msg, uint32(len(body)))
+	copy(msg[4:], body)
+	if _, err := sc.pw.Write(msg); err != nil {
+		l.closeStream()
+		return mcsio.ReplAckJSON{}, 0, fmt.Errorf("stream write: %w", err)
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(sc.br, hdr[:]); err != nil {
+		l.closeStream()
+		return mcsio.ReplAckJSON{}, 0, fmt.Errorf("stream ack: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxStreamAckBody {
+		l.closeStream()
+		return mcsio.ReplAckJSON{}, 0, fmt.Errorf("stream ack: %d-byte body", n)
+	}
+	ackBody := make([]byte, n)
+	if _, err := io.ReadFull(sc.br, ackBody); err != nil {
+		l.closeStream()
+		return mcsio.ReplAckJSON{}, 0, fmt.Errorf("stream ack: %w", err)
+	}
+	switch hdr[0] {
+	case streamAckOK, streamAckConflict:
+		status := http.StatusOK
+		if hdr[0] == streamAckConflict {
+			status = http.StatusConflict
+		}
+		ack, err := mcsio.DecodeReplAck(ackBody)
+		if err != nil {
+			if status == http.StatusConflict {
+				return mcsio.ReplAckJSON{}, status, nil // zero ack: caller errors out
+			}
+			return mcsio.ReplAckJSON{}, status, fmt.Errorf("unparseable ack: %.200s", ackBody)
+		}
+		if ack.Tenant != f.Tenant {
+			return mcsio.ReplAckJSON{}, status, fmt.Errorf("ack names tenant %q, frame was %q", ack.Tenant, f.Tenant)
+		}
+		return ack, status, nil
+	case streamAckNotFollower:
+		return mcsio.ReplAckJSON{}, http.StatusConflict, nil
+	case streamAckUnavailable:
+		return mcsio.ReplAckJSON{}, http.StatusServiceUnavailable, nil
+	default: // streamAckBad and anything unknown: fail-closed rejection
+		return mcsio.ReplAckJSON{}, http.StatusBadRequest, nil
+	}
+}

@@ -1,0 +1,430 @@
+package replication
+
+// Streaming-transport suite: the persistent stream must be a pure
+// transport swap — every codec and transport combination converges to
+// bit-identical followers, a follower without the endpoint degrades to
+// POSTs, a torn dial redials, and raw wire damage on the stream fails
+// closed exactly like the per-frame path.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"mcsched/internal/admission"
+	"mcsched/internal/mcs"
+	"mcsched/internal/mcsio"
+)
+
+// connectCfg wires a shipper with an explicit config from the leader to
+// the follower URL and starts it.
+func connectCfg(t *testing.T, leader *admission.Controller, followerURL string, cfg ShipperConfig) *Shipper {
+	t.Helper()
+	ship, err := NewShipper(leader, []string{followerURL}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader.SetHooks(ship.Hooks())
+	ship.Start()
+	t.Cleanup(ship.Stop)
+	return ship
+}
+
+// codecFollower builds a follower whose own journal uses the given codec
+// and serves it behind a handler that counts per-path traffic.
+func codecFollower(t *testing.T, codec mcsio.Codec) (*admission.Controller, *Receiver, *httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	cfg := followerConfig(t.TempDir())
+	cfg.JournalCodec = codec
+	ctrl := admission.NewController(cfg)
+	if _, err := ctrl.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	recv := NewReceiver(ctrl)
+	mux := recv.Mux()
+	var framePosts, streamDials atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case FramePath:
+			framePosts.Add(1)
+		case StreamPath:
+			streamDials.Add(1)
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { ctrl.Close() })
+	return ctrl, recv, srv, &framePosts, &streamDials
+}
+
+// TestReplicationTransportCodecMatrix drives the failover-equivalence
+// workload across every codec × transport combination: the follower must
+// be bit-identical at every commit index, the promoted follower must match
+// a fresh recovery of the leader's journal, and each transport must have
+// actually carried the frames it claims to.
+func TestReplicationTransportCodecMatrix(t *testing.T) {
+	for _, codec := range []mcsio.Codec{mcsio.CodecJSON, mcsio.CodecBinary} {
+		for _, stream := range []bool{false, true} {
+			codec, stream := codec, stream
+			t.Run(fmt.Sprintf("%s/stream=%v", codec, stream), func(t *testing.T) {
+				t.Parallel()
+				test := allTests()[0]
+				leaderDir := t.TempDir()
+				lcfg := leaderConfig(leaderDir, 3)
+				lcfg.JournalCodec = codec
+				lcfg.GroupCommit = true
+				leader := admission.NewController(lcfg)
+				if _, err := leader.Recover(); err != nil {
+					t.Fatal(err)
+				}
+				fctrl, _, srv, framePosts, streamDials := codecFollower(t, codec)
+				ship := connectCfg(t, leader, srv.URL, ShipperConfig{Codec: codec, Stream: stream})
+
+				sys, err := leader.CreateSystem("t", 4, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				commits := 0
+				driveReplicated(t, sys, test, 515, 2, 0, func(label string) {
+					commits++
+					flush(t, ship)
+					if lfp, ffp := sys.Fingerprint(), fingerprintOf(fctrl, "t"); lfp != ffp {
+						t.Fatalf("commit %d (%s): follower diverged:\nleader:\n%s\nfollower:\n%s",
+							commits, label, lfp, ffp)
+					}
+				})
+				if commits == 0 {
+					t.Fatal("workload committed nothing")
+				}
+				flush(t, ship)
+				leaderFP := sys.Fingerprint()
+
+				// The claimed transport carried the frames.
+				if stream {
+					if streamDials.Load() == 0 {
+						t.Fatal("stream transport never dialed the stream endpoint")
+					}
+					if framePosts.Load() != 0 {
+						t.Fatalf("stream transport fell back to %d frame POSTs", framePosts.Load())
+					}
+				} else {
+					if framePosts.Load() == 0 {
+						t.Fatal("POST transport sent no frames")
+					}
+					if streamDials.Load() != 0 {
+						t.Fatalf("POST transport dialed the stream endpoint %d times", streamDials.Load())
+					}
+				}
+
+				// Kill the leader, promote, compare against a fresh recovery.
+				ship.Stop()
+				if err := leader.Close(); err != nil {
+					t.Fatal(err)
+				}
+				promote(t, srv)
+				rec := admission.NewController(lcfg)
+				if _, err := rec.Recover(); err != nil {
+					t.Fatal(err)
+				}
+				defer rec.Close()
+				rsys, err := rec.System("t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprintOf(fctrl, "t"); got != rsys.Fingerprint() || got != leaderFP {
+					t.Fatalf("promoted follower != fresh recovery:\nfollower:\n%s\nrecovered:\n%s", got, rsys.Fingerprint())
+				}
+			})
+		}
+	}
+}
+
+// TestStreamFallsBackToPost: a follower without the stream endpoint must
+// degrade to per-frame POSTs on the first dial, without counting send
+// errors, and still converge.
+func TestStreamFallsBackToPost(t *testing.T) {
+	leader := admission.NewController(leaderConfig(t.TempDir(), -1))
+	if _, err := leader.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	fctrl, recv, _ := newFollower(t, t.TempDir())
+	// An old-version follower: FramePath only, 404 on the stream.
+	mux := recv.Mux()
+	var framePosts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == StreamPath {
+			http.NotFound(w, r)
+			return
+		}
+		if r.URL.Path == FramePath {
+			framePosts.Add(1)
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	// Registered before connectCfg: cleanups run LIFO, so the shipper (and
+	// its live stream) stops before the server waits out open connections.
+	t.Cleanup(srv.Close)
+
+	ship := connectCfg(t, leader, srv.URL, ShipperConfig{Stream: true})
+	sys, err := leader.CreateSystem("t", 2, allTests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sys.Admit(mcs.NewLC(i, 1, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flush(t, ship)
+	if got := fingerprintOf(fctrl, "t"); got != sys.Fingerprint() {
+		t.Fatalf("follower diverged after fallback:\n%s\n%s", sys.Fingerprint(), got)
+	}
+	if framePosts.Load() == 0 {
+		t.Fatal("fallback shipped no frame POSTs")
+	}
+	st := ship.Status()
+	if len(st) != 1 || st[0].SendErrors != 0 {
+		t.Fatalf("clean fallback counted send errors: %+v", st)
+	}
+}
+
+// TestStreamRedialsAfterDialFailure: a dial failure that is not
+// endpoint-absence (here an injected 502) must retry with backoff and
+// redial the stream — not fall back to POSTs.
+func TestStreamRedialsAfterDialFailure(t *testing.T) {
+	leader := admission.NewController(leaderConfig(t.TempDir(), -1))
+	if _, err := leader.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	fctrl, recv, _ := newFollower(t, t.TempDir())
+	mux := recv.Mux()
+	var framePosts atomic.Int64
+	var failsLeft atomic.Int64
+	failsLeft.Store(2)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == StreamPath && failsLeft.Load() > 0 {
+			failsLeft.Add(-1)
+			http.Error(w, "injected outage", http.StatusBadGateway)
+			return
+		}
+		if r.URL.Path == FramePath {
+			framePosts.Add(1)
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	ship := connectCfg(t, leader, srv.URL, ShipperConfig{Stream: true})
+	sys, err := leader.CreateSystem("t", 2, allTests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sys.Admit(mcs.NewLC(i, 1, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flush(t, ship)
+	if failsLeft.Load() != 0 {
+		t.Fatalf("outage not exercised: %d injected failures left", failsLeft.Load())
+	}
+	if got := fingerprintOf(fctrl, "t"); got != sys.Fingerprint() {
+		t.Fatalf("follower diverged after redial:\n%s\n%s", sys.Fingerprint(), got)
+	}
+	if framePosts.Load() != 0 {
+		t.Fatalf("transient dial failure demoted the link to %d POSTs", framePosts.Load())
+	}
+	st := ship.Status()
+	if len(st) != 1 || st[0].SendErrors == 0 {
+		t.Fatalf("status did not count the failed dials: %+v", st)
+	}
+}
+
+// rawStream is a hand-rolled stream client for wire-level fault injection.
+type rawStream struct {
+	pw   *io.PipeWriter
+	resp *http.Response
+	br   *bufio.Reader
+}
+
+func dialRawStream(t *testing.T, base string) *rawStream {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, base+StreamPath, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream dial: status %d", resp.StatusCode)
+	}
+	rs := &rawStream{pw: pw, resp: resp, br: bufio.NewReader(resp.Body)}
+	t.Cleanup(func() {
+		rs.pw.Close()
+		rs.resp.Body.Close()
+	})
+	return rs
+}
+
+// send writes one length-prefixed frame and reads back the status-tagged
+// acknowledgement.
+func (rs *rawStream) send(t *testing.T, frame []byte) (byte, []byte) {
+	t.Helper()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := rs.pw.Write(append(hdr[:], frame...)); err != nil {
+		t.Fatal(err)
+	}
+	return rs.readAck(t)
+}
+
+func (rs *rawStream) readAck(t *testing.T) (byte, []byte) {
+	t.Helper()
+	var ackHdr [5]byte
+	if _, err := io.ReadFull(rs.br, ackHdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(ackHdr[1:5]))
+	if _, err := io.ReadFull(rs.br, body); err != nil {
+		t.Fatal(err)
+	}
+	return ackHdr[0], body
+}
+
+// binaryRecordsFrame renders a binary-codec records frame.
+func binaryRecordsFrame(t *testing.T, tenant string, first uint64, recs [][]byte) []byte {
+	t.Helper()
+	raw := make([]json.RawMessage, len(recs))
+	for i, r := range recs {
+		raw[i] = r
+	}
+	b, err := mcsio.CodecBinary.EncodeReplFrame(mcsio.ReplFrameJSON{
+		Kind: mcsio.ReplRecords, Tenant: tenant, First: first, Records: raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStreamFailClosedBinary drives raw binary frames down a stream:
+// tampered frame bytes and tampered record CRCs must be refused without
+// touching the replica and without tearing the (still-framed) stream,
+// while framing damage must close the connection.
+func TestStreamFailClosedBinary(t *testing.T) {
+	// A binary-journal leader provides genuine binary records.
+	lcfg := leaderConfig(t.TempDir(), -1)
+	lcfg.JournalCodec = mcsio.CodecBinary
+	leader := admission.NewController(lcfg)
+	if _, err := leader.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	sys, err := leader.CreateSystem("t", 2, allTests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sys.Admit(mcs.NewLC(i, 1, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _, err := sys.Journal().ReadFrom(1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mcsio.IsBinaryRecord(recs[0]) {
+		t.Fatal("binary-codec journal produced non-binary records")
+	}
+
+	fctrl, _, srv := newFollower(t, t.TempDir())
+	rs := dialRawStream(t, srv.URL)
+
+	// Valid prefix applies.
+	if status, body := rs.send(t, binaryRecordsFrame(t, "t", 1, recs[:3])); status != streamAckOK {
+		t.Fatalf("valid prefix: status %d (%s)", status, body)
+	}
+	base := fingerprintOf(fctrl, "t")
+	baseNext := fctrl.TenantNext("t")
+	if baseNext != 4 {
+		t.Fatalf("follower at %d after 3 records, want 4", baseNext)
+	}
+	unchanged := func(t *testing.T, when string) {
+		t.Helper()
+		if got := fingerprintOf(fctrl, "t"); got != base {
+			t.Fatalf("%s mutated follower state:\n%s\n%s", when, base, got)
+		}
+		if got := fctrl.TenantNext("t"); got != baseNext {
+			t.Fatalf("%s moved the journal tail to %d", when, got)
+		}
+	}
+
+	// Tampered frame bytes: the frame CRC refuses it; the stream survives.
+	frame := binaryRecordsFrame(t, "t", 4, recs[3:])
+	tampered := append([]byte(nil), frame...)
+	tampered[len(tampered)-1] ^= 0xFF
+	if status, _ := rs.send(t, tampered); status != streamAckBad {
+		t.Fatalf("tampered frame: status %d, want %d", status, streamAckBad)
+	}
+	unchanged(t, "tampered frame")
+
+	// Tampered record inside an intact frame: flip the embedded record's
+	// own CRC in place and re-seal the frame checksum, so the frame decodes
+	// and the record-level CRC is what refuses it.
+	inner := binaryRecordsFrame(t, "t", 4, recs[3:4])
+	idx := bytes.Index(inner, recs[3])
+	if idx < 0 {
+		t.Fatal("record bytes not embedded verbatim in the binary frame")
+	}
+	inner[idx+len(recs[3])-1] ^= 0xFF
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	binary.LittleEndian.PutUint32(inner[len(inner)-4:], crc32.Checksum(inner[:len(inner)-4], castagnoli))
+	if status, _ := rs.send(t, inner); status != streamAckBad {
+		t.Fatal("tampered record accepted")
+	}
+	unchanged(t, "tampered record")
+
+	// Sequence gap: conflict ack carries the resync position.
+	status, body := rs.send(t, binaryRecordsFrame(t, "t", 5, recs[4:]))
+	if status != streamAckConflict {
+		t.Fatalf("gapped frame: status %d, want %d", status, streamAckConflict)
+	}
+	if ack, err := mcsio.DecodeReplAck(body); err != nil || ack.Next != baseNext {
+		t.Fatalf("gap ack: %+v, %v — want next %d", ack, err, baseNext)
+	}
+	unchanged(t, "gapped frame")
+
+	// The stream is still live: the valid suffix applies.
+	if status, body := rs.send(t, binaryRecordsFrame(t, "t", 4, recs[3:])); status != streamAckOK {
+		t.Fatalf("valid suffix after rejections: status %d (%s)", status, body)
+	}
+	if got := fctrl.TenantNext("t"); got != uint64(len(recs))+1 {
+		t.Fatalf("after suffix: next %d, want %d", got, len(recs)+1)
+	}
+
+	// Framing damage (zero-length frame) closes the connection.
+	var zero [4]byte
+	if _, err := rs.pw.Write(zero[:]); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := rs.readAck(t); status != streamAckBad {
+		t.Fatalf("zero-length frame: status %d, want %d", status, streamAckBad)
+	}
+	if _, err := rs.br.ReadByte(); err != io.EOF {
+		t.Fatalf("stream survived framing damage: %v", err)
+	}
+}
