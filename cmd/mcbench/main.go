@@ -69,13 +69,17 @@ type Counters struct {
 	WarmStarts      uint64 `json:"warm_starts"`
 }
 
-// Result is one benchmark's record.
+// Result is one benchmark's record. GOMAXPROCS is recorded per entry (not
+// just per file) so baselines generated on machines with different core
+// counts can be compared entry by entry — the parallel batch benches are
+// meaningless without it.
 type Result struct {
 	Name         string     `json:"name"`
 	Iterations   int        `json:"iterations"`
 	NsPerOp      float64    `json:"ns_per_op"`
 	BytesPerOp   int64      `json:"bytes_per_op"`
 	AllocsPerOp  int64      `json:"allocs_per_op"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
 	Counters     *Counters  `json:"counters,omitempty"`
 	ReferencePR3 *Reference `json:"reference_pr3,omitempty"`
 	SpeedupVsPR3 float64    `json:"speedup_vs_pr3,omitempty"`
@@ -270,6 +274,7 @@ func runOne(bm bench) Result {
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 	if c != (Counters{}) {
 		cc := c
@@ -321,11 +326,12 @@ func collect(ctrl *mcsched.AdmissionController, c *Counters) {
 	c.WarmStarts = st.WarmStarts
 }
 
-// admitSingle is one admit(+release) cycle against a loaded 8-core tenant.
-// With instrumented the controller carries a live metrics registry
-// (EnableMetrics), so the number proves the observability layer keeps the
-// warm path allocation-free — the CI bench gate asserts allocs/op == 0.
-func admitSingle(warm, probeOnly, instrumented bool) func(*testing.B, *Counters) {
+// admitSingle is one admit(+release) cycle against a loaded 8-core tenant
+// under the given test. With instrumented the controller carries a live
+// metrics registry (EnableMetrics), so the number proves the observability
+// layer keeps the warm path allocation-free — the CI bench gate asserts
+// allocs/op == 0.
+func admitSingle(test mcsched.Test, warm, probeOnly, instrumented bool) func(*testing.B, *Counters) {
 	return func(b *testing.B, c *Counters) {
 		cfg := mcsched.DefaultAdmissionConfig()
 		if !warm {
@@ -335,7 +341,7 @@ func admitSingle(warm, probeOnly, instrumented bool) func(*testing.B, *Counters)
 		if instrumented {
 			ctrl.EnableMetrics(mcsched.NewMetricsRegistry())
 		}
-		sys, err := ctrl.CreateSystem("bench", 8, mcsched.EDFVD())
+		sys, err := ctrl.CreateSystem("bench", 8, test)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -378,9 +384,12 @@ func admitSingle(warm, probeOnly, instrumented bool) func(*testing.B, *Counters)
 }
 
 // admitBatch64 is the all-or-nothing 64-task batch admit (+ release).
-func admitBatch64(test mcsched.Test, cached bool) func(*testing.B, *Counters) {
+// workers > 1 fans each decision's candidate-core probes across the
+// batch-parallel engine (verdicts are bit-identical to the serial scan).
+func admitBatch64(test mcsched.Test, cached bool, workers int) func(*testing.B, *Counters) {
 	return func(b *testing.B, c *Counters) {
 		cfg := mcsched.DefaultAdmissionConfig()
+		cfg.Workers = workers
 		if !cached {
 			cfg.CacheCapacity = -1
 		}
@@ -629,13 +638,20 @@ func replStreamBatch64() func(*testing.B, *Counters) {
 
 func benches() []bench {
 	return []bench{
-		{"admit/single/cold", admitSingle(false, false, false)},
-		{"admit/single/warm", admitSingle(true, false, false)},
-		{"admit/single/warm-instrumented", admitSingle(true, false, true)},
-		{"probe/single/warm", admitSingle(true, true, false)},
-		{"admit/batch64/edfvd", admitBatch64(mcsched.EDFVD(), true)},
-		{"admit/batch64/edfvd-cold", admitBatch64(mcsched.EDFVD(), false)},
-		{"admit/batch64/amc-cold", admitBatch64(mcsched.AMC(), false)},
+		{"admit/single/cold", admitSingle(mcsched.EDFVD(), false, false, false)},
+		{"admit/single/warm", admitSingle(mcsched.EDFVD(), true, false, false)},
+		{"admit/single/warm-instrumented", admitSingle(mcsched.EDFVD(), true, false, true)},
+		{"admit/single/warm-ey", admitSingle(mcsched.EY(), true, false, false)},
+		{"admit/single/warm-ecdf", admitSingle(mcsched.ECDF(), true, false, false)},
+		{"probe/single/warm", admitSingle(mcsched.EDFVD(), true, true, false)},
+		{"admit/batch64/edfvd", admitBatch64(mcsched.EDFVD(), true, 0)},
+		{"admit/batch64/edfvd-cold", admitBatch64(mcsched.EDFVD(), false, 0)},
+		{"admit/batch64/ey-cold", admitBatch64(mcsched.EY(), false, 0)},
+		{"admit/batch64/ecdf-cold", admitBatch64(mcsched.ECDF(), false, 0)},
+		{"admit/batch64/edf-cold", admitBatch64(mcsched.PlainEDF(true), false, 0)},
+		{"admit/batch64/amc-cold", admitBatch64(mcsched.AMC(), false, 0)},
+		{"admit/batch64/edfvd-par4", admitBatch64(mcsched.EDFVD(), false, 4)},
+		{"admit/batch64/amc-cold-par4", admitBatch64(mcsched.AMC(), false, 4)},
 		{"partition/cuudp-amc", partition(mcsched.CUUDP(), mcsched.AMC())},
 		{"partition/cuudp-edfvd", partition(mcsched.CUUDP(), mcsched.EDFVD())},
 		{"simulate/hyperperiod-small", simulateSystem(2, 5)},

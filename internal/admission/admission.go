@@ -226,6 +226,13 @@ type Controller struct {
 	// journal instruments handed to every log opened afterwards.
 	metrics atomic.Pointer[Metrics]
 	jm      atomic.Pointer[journal.Metrics]
+
+	// reg late-binds the metrics registry so per-family analyzer series can
+	// be registered when a tenant first introduces its test family (the
+	// label set is not known up front). famMu/famSeen dedupe registrations.
+	reg     atomic.Pointer[obs.Registry]
+	famMu   sync.Mutex
+	famSeen map[string]bool
 }
 
 // NewController returns an empty controller.
@@ -320,6 +327,7 @@ func (c *Controller) newTenant(id string, m int, test core.Test) *System {
 	sys.hooks = &c.hooks
 	sys.metrics = &c.metrics
 	sys.codec = c.cfg.codec()
+	c.registerFamilySeries(sys.TestName())
 	return sys
 }
 
@@ -431,6 +439,19 @@ func (c *Controller) analyzerTotals() kernel.Counters {
 	return kc
 }
 
+// analyzerTotalsByFamily aggregates the per-core analyzer tallies across
+// live tenants keyed by the test family gating each tenant.
+func (c *Controller) analyzerTotalsByFamily() map[string]kernel.Counters {
+	out := make(map[string]kernel.Counters)
+	for _, sys := range c.allSystems() {
+		sc := sys.AnalyzerCounters()
+		kc := out[sys.TestName()]
+		sc.AddTo(&kc)
+		out[sys.TestName()] = kc
+	}
+	return out
+}
+
 // journalTotals aggregates the per-tenant journal counters (zero-valued,
 // Enabled false, when the controller runs without a data directory).
 func (c *Controller) journalTotals() JournalStats {
@@ -475,16 +496,28 @@ func (c *Controller) Stats() Stats {
 	systems := c.allSystems()
 	st.Systems = len(systems)
 	var kc kernel.Counters
+	var fams map[string]AnalyzerFamilyStats
 	for _, sys := range systems {
 		st.Tasks += sys.NumTasks()
 		sc := sys.AnalyzerCounters()
 		sc.AddTo(&kc)
+		if fams == nil {
+			fams = make(map[string]AnalyzerFamilyStats)
+		}
+		fs := fams[sys.TestName()]
+		fs.FastAccepts += sc.FastAccepts
+		fs.FastRejects += sc.FastRejects
+		fs.IncrementalHits += sc.IncrementalHits
+		fs.ExactRuns += sc.ExactRuns
+		fs.WarmStarts += sc.WarmStarts
+		fams[sys.TestName()] = fs
 	}
 	st.FastAccepts = kc.FastAccepts
 	st.FastRejects = kc.FastRejects
 	st.IncrementalHits = kc.IncrementalHits
 	st.ExactRuns = kc.ExactRuns
 	st.WarmStarts = kc.WarmStarts
+	st.AnalyzerFamilies = fams
 	st.Journal = c.journalTotals()
 	return st
 }

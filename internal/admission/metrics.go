@@ -83,8 +83,17 @@ func (c *Controller) EnableMetrics(r *obs.Registry) {
 		"Full cold kernel runs.",
 		analyzer(func(kc kernel.Counters) uint64 { return kc.ExactRuns }))
 	r.CounterFunc("mcsched_analyzer_warm_starts_total",
-		"Fixed-point solves seeded from a previously converged response time.",
+		"Exact analyses seeded from memoized state (converged response times, cached demand curves).",
 		analyzer(func(kc kernel.Counters) uint64 { return kc.WarmStarts }))
+
+	// Per-family breakdown of the same five counters, labelled by the test
+	// family gating each tenant. The label set is open-ended (a family
+	// appears when some tenant uses it), so tenant creation registers each
+	// family's series lazily; tenants created before this call register here.
+	c.reg.Store(r)
+	for _, sys := range c.allSystems() {
+		c.registerFamilySeries(sys.TestName())
+	}
 
 	// Decision latency histograms, gated behind the atomic pointer so the
 	// hot path only times itself once these exist.
@@ -153,4 +162,45 @@ func (c *Controller) EnableMetrics(r *obs.Registry) {
 	r.GaugeFunc("mcsched_journal_segments",
 		"Current on-disk log segments across all tenants.",
 		func() float64 { return float64(c.journalTotals().Segments) })
+}
+
+// registerFamilySeries registers the per-family labelled analyzer counter
+// series for one test family, once: mcsched_analyzer_*_total{family="..."}.
+// It is a no-op until EnableMetrics stores the registry; afterwards tenant
+// creation calls it for every new tenant and the famSeen set dedupes
+// repeat families. Values are read from the live tenants at scrape time,
+// so the labelled series sum to the unlabelled totals.
+func (c *Controller) registerFamilySeries(name string) {
+	r := c.reg.Load()
+	if r == nil {
+		return
+	}
+	c.famMu.Lock()
+	defer c.famMu.Unlock()
+	if c.famSeen[name] {
+		return
+	}
+	if c.famSeen == nil {
+		c.famSeen = make(map[string]bool)
+	}
+	c.famSeen[name] = true
+	lbl := obs.L("family", name)
+	byFam := func(f func(kernel.Counters) uint64) func() uint64 {
+		return func() uint64 { return f(c.analyzerTotalsByFamily()[name]) }
+	}
+	r.CounterFunc("mcsched_analyzer_fast_accepts_total",
+		"Analyses answered by a sufficient condition without the exact kernel.",
+		byFam(func(kc kernel.Counters) uint64 { return kc.FastAccepts }), lbl)
+	r.CounterFunc("mcsched_analyzer_fast_rejects_total",
+		"Analyses answered by a necessary-condition reject.",
+		byFam(func(kc kernel.Counters) uint64 { return kc.FastRejects }), lbl)
+	r.CounterFunc("mcsched_analyzer_incremental_hits_total",
+		"Analyses resolved from memoized per-core state.",
+		byFam(func(kc kernel.Counters) uint64 { return kc.IncrementalHits }), lbl)
+	r.CounterFunc("mcsched_analyzer_exact_runs_total",
+		"Full cold kernel runs.",
+		byFam(func(kc kernel.Counters) uint64 { return kc.ExactRuns }), lbl)
+	r.CounterFunc("mcsched_analyzer_warm_starts_total",
+		"Exact analyses seeded from memoized state (converged response times, cached demand curves).",
+		byFam(func(kc kernel.Counters) uint64 { return kc.WarmStarts }), lbl)
 }

@@ -96,6 +96,12 @@ type Stats struct {
 	IncrementalHits uint64 `json:"incremental_hits"`
 	ExactRuns       uint64 `json:"exact_runs"`
 	WarmStarts      uint64 `json:"warm_starts"`
+	// AnalyzerFamilies breaks the analyzer counters down by test family
+	// (the schedulability test gating each tenant, e.g. "EDF-VD", "EY",
+	// "AMC-rtb"): each entry aggregates the per-core analyzer tallies of
+	// the live tenants running that family. The unlabelled totals above are
+	// the sums over this map. Absent when no tenants exist.
+	AnalyzerFamilies map[string]AnalyzerFamilyStats `json:"analyzer_families,omitempty"`
 	// Simulations counts read-only what-if simulations executed against
 	// live tenants.
 	Simulations uint64 `json:"simulations"`
@@ -105,6 +111,17 @@ type Stats struct {
 	// zero-valued (Enabled false) when the controller runs without a data
 	// directory.
 	Journal JournalStats `json:"journal"`
+}
+
+// AnalyzerFamilyStats is one test family's share of the analyzer
+// fast-path counters — the same five tallies as the top-level Stats
+// fields, restricted to tenants gated by that family's test.
+type AnalyzerFamilyStats struct {
+	FastAccepts     uint64 `json:"fast_accepts"`
+	FastRejects     uint64 `json:"fast_rejects"`
+	IncrementalHits uint64 `json:"incremental_hits"`
+	ExactRuns       uint64 `json:"exact_runs"`
+	WarmStarts      uint64 `json:"warm_starts"`
 }
 
 // JournalStats reports write-ahead-journal activity — aggregated across

@@ -61,7 +61,12 @@ const maxQPAIters = 1 << 20
 // it jump straight to h; h == t steps to the previous kink. Exact for
 // integer piecewise-linear curves because segment suprema of demand(ℓ) − ℓ
 // sit on the inspected points.
-func QPA(c Curve, L mcs.Ticks) bool {
+//
+// QPA and QPAWitness are generic over the concrete curve type so the hot
+// paths (StepSum/SawSum scratch slices re-evaluated on every admission
+// probe) avoid boxing a slice header into a Curve interface value per call
+// — the walk itself is identical for any instantiation.
+func QPA[C Curve](c C, L mcs.Ticks) bool {
 	_, ok := QPAWitness(c, L)
 	return ok
 }
@@ -70,7 +75,7 @@ func QPA(c Curve, L mcs.Ticks) bool {
 // demand(t) > t when the check fails (ok=false), or (-1, true) when the
 // curve is schedulable up to L. The witness is what the deadline-tuning
 // loops of the EY/ECDF tests steer on.
-func QPAWitness(c Curve, L mcs.Ticks) (witness mcs.Ticks, ok bool) {
+func QPAWitness[C Curve](c C, L mcs.Ticks) (witness mcs.Ticks, ok bool) {
 	if L <= 0 {
 		return -1, true
 	}
@@ -202,22 +207,9 @@ func lcmCapped(h, t mcs.Ticks, ok bool) (mcs.Ticks, bool) {
 // implied. ok=false means the demand is infeasible at any horizon (see
 // horizon).
 func HorizonLO(steps []Step) (L mcs.Ticks, ok bool) {
-	if len(steps) == 0 {
-		return 0, true
-	}
-	var u, off float64
-	var maxD mcs.Ticks
-	hyper, hyperOK := mcs.Ticks(1), true
+	var acc LOAccum
 	for _, s := range steps {
-		ui := float64(s.C) / float64(s.T)
-		u += ui
-		if d := float64(s.T-s.D) * ui; d > 0 {
-			off += d
-		}
-		if s.D > maxD {
-			maxD = s.D
-		}
-		hyper, hyperOK = lcmCapped(hyper, s.T, hyperOK)
+		acc.Add(s)
 	}
-	return horizon(u, off, maxD, hyper, hyperOK)
+	return acc.Horizon()
 }

@@ -80,20 +80,9 @@ func (s Sawtooth) PrevKink(l mcs.Ticks) mcs.Ticks {
 // gives the hyperperiod bound for exactly-full systems. ok=false means the
 // demand is infeasible at any horizon.
 func HorizonHI(saws []Sawtooth) (L mcs.Ticks, ok bool) {
-	if len(saws) == 0 {
-		return 0, true
-	}
-	var u, off float64
-	var maxOff mcs.Ticks
-	hyper, hyperOK := mcs.Ticks(1), true
+	var acc HIAccum
 	for _, s := range saws {
-		ui := float64(s.CH) / float64(s.T)
-		u += ui
-		off += float64(s.CH) * (1 - float64(s.offset())/float64(s.T))
-		if s.offset() > maxOff {
-			maxOff = s.offset()
-		}
-		hyper, hyperOK = lcmCapped(hyper, s.T, hyperOK)
+		acc.Add(s)
 	}
-	return horizon(u, off, maxOff, hyper, hyperOK)
+	return acc.Horizon()
 }

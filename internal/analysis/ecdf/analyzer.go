@@ -6,19 +6,25 @@ import (
 	"mcsched/internal/mcs"
 )
 
-// Analyzer is the reusable per-core ECDF engine: one ey.Engine's curve
-// buffers plus reusable assignment maps shared across the EY pass and the
-// scale-factor restarts. It runs the same fast-path filters as the EY
-// analyzer (see ey.QuickVerdict — the soundness argument carries over
-// verbatim because every restart drives the identical LO/HI QPA machinery),
-// then replays Analyze's search step for step on the scratch state, so
-// verdicts stay bit-identical to the stateless test.
+// Analyzer is the reusable per-core ECDF engine, built on the same
+// array-backed ey.Shaper and ey.Memo the EY analyzer uses: positional
+// demand curves mutated in place across the EY pass and the scale-factor
+// restarts, fast-path filters in front (see ey.QuickVerdict — the
+// soundness argument carries over verbatim because every restart drives
+// the identical LO/HI QPA machinery), and a warm path that folds a
+// prefix-extension probe's newcomer into the cached filter sums and
+// loosest curves instead of rebuilding them. The search itself replays
+// Analyze step for step — same pass order, same relaxation picks, same
+// shaping trajectories — so verdicts stay bit-identical to the stateless
+// test on every path.
 type Analyzer struct {
-	opts   Options
-	ctr    kernel.Counters
-	eng    ey.Engine
-	assign ey.Assignment
-	frozen map[int]bool
+	opts Options
+	ctr  kernel.Counters
+	sh   ey.Shaper
+	memo ey.Memo
+	// curvesOK gates the curve cache: it holds while sh's arrays describe
+	// memo.Mem under the loosest assignment.
+	curvesOK bool
 }
 
 // NewAnalyzer implements kernel.Incremental for Test.
@@ -30,7 +36,7 @@ func (t Test) NewAnalyzer() kernel.Analyzer {
 	if o.EY.MaxIter == 0 {
 		o.EY = ey.DefaultOptions()
 	}
-	return &Analyzer{opts: o, assign: make(ey.Assignment), frozen: make(map[int]bool)}
+	return &Analyzer{opts: o}
 }
 
 // Name implements kernel.Analyzer.
@@ -39,7 +45,14 @@ func (a *Analyzer) Name() string { return Test{}.Name() }
 // Schedulable implements kernel.Analyzer; the verdict is bit-identical to
 // Test.Schedulable.
 func (a *Analyzer) Schedulable(ts mcs.TaskSet) bool {
-	switch v := ey.QuickVerdict(ts); {
+	warm := a.memo.Extends(ts)
+	var q ey.QuickState
+	if warm {
+		q = a.memo.Quick.Extend(ts[len(ts)-1])
+	} else {
+		q = ey.FoldQuick(ts)
+	}
+	switch v := q.Verdict(); {
 	case v < 0:
 		a.ctr.FastRejects++
 		return false
@@ -47,70 +60,131 @@ func (a *Analyzer) Schedulable(ts mcs.TaskSet) bool {
 		// Accepted by the EY pass already (LC-only density bound), which
 		// ECDF returns without any restart.
 		a.ctr.FastAccepts++
+		a.promoteFiltered(ts, warm, q)
 		return true
 	}
-	a.ctr.ExactRuns++
 
-	// Pass 1: the EY greedy from the loosest assignment. A LO-infeasible
-	// loosest assignment also short-circuits the restarts (shrinking
-	// deadlines only raises LO demand), mirroring Analyze's second check.
-	clear(a.assign)
-	clear(a.frozen)
-	ey.InitialInto(ts, a.assign)
-	if !a.eng.LOFeasible(ts, a.assign) {
-		return false
+	if warm && a.curvesOK {
+		x := ts[len(ts)-1]
+		undo := a.sh.Extend(x)
+		ok, deep := a.runExact()
+		a.ctr.WarmStarts++
+		if deep {
+			a.ctr.ExactRuns++
+		} else {
+			a.ctr.IncrementalHits++
+		}
+		if ok {
+			a.memo.PromoteWarm(x, q)
+			a.sh.RestoreLoosest()
+		} else {
+			a.sh.Truncate(undo)
+			a.sh.RestoreLoosest()
+		}
+		return ok
 	}
-	if a.eng.ShapeInPlace(ts, a.assign, a.frozen, a.opts.EY) {
-		return true
+
+	a.ctr.ExactRuns++
+	a.sh.Reset(ts)
+	ok, _ := a.runExact()
+	if ok {
+		a.memo.PromoteCold(ts, q)
+		a.sh.RestoreLoosest()
+		a.curvesOK = true
+	} else {
+		a.curvesOK = false
+	}
+	return ok
+}
+
+// runExact replays Analyze's search on the Shaper's loosest-state curves.
+// A LO-infeasible loosest assignment short-circuits the restarts
+// (shrinking deadlines only raises LO demand), mirroring Analyze's second
+// check. deep reports whether any shaping or restart work ran (vs a
+// zero-iteration decision straight off the cached loosest curves).
+func (a *Analyzer) runExact() (ok, deep bool) {
+	// Pass 1: the EY greedy from the loosest assignment.
+	if !a.sh.LOFeasible() {
+		return false, false
+	}
+	w, hiOK := a.sh.HIFeasible()
+	if hiOK {
+		return true, false
+	}
+	if a.sh.ShapeResume(w, a.opts.EY.EffectiveMaxIter()) {
+		return true, true
 	}
 
 	// Pass 2: scale-factor restarts, each from a uniformly tightened
 	// assignment relaxed per task until LO passes.
 	for _, lambda := range a.opts.Lambdas {
-		clear(a.assign)
-		ey.ScaledInto(ts, lambda, a.assign)
-		if !a.relaxUntilLOFeasible(ts, a.assign) {
+		a.sh.Scale(lambda)
+		if !a.relaxUntilLOFeasible() {
 			continue
 		}
-		clear(a.frozen)
-		if a.eng.ShapeInPlace(ts, a.assign, a.frozen, a.opts.EY) {
-			return true
+		if a.sh.Shape(a.opts.EY.EffectiveMaxIter()) {
+			return true, true
 		}
 	}
-	return false
+	return false, true
 }
 
-// relaxUntilLOFeasible is relaxUntilLOFeasible on the analyzer's engine:
-// identical relaxation order, buffer-reusing feasibility checks, and a
-// boolean report instead of a nil map.
-func (a *Analyzer) relaxUntilLOFeasible(ts mcs.TaskSet, as ey.Assignment) bool {
-	for rounds := 0; rounds < len(ts)+1; rounds++ {
-		if a.eng.LOFeasible(ts, as) {
+// relaxUntilLOFeasible is relaxUntilLOFeasible on the Shaper's arrays:
+// identical relaxation order (the HC scan in task order, most-shrunk task
+// first, halfway to its real deadline) and a boolean report instead of a
+// nil map.
+func (a *Analyzer) relaxUntilLOFeasible() bool {
+	for rounds := 0; rounds < a.sh.NumTasks()+1; rounds++ {
+		if a.sh.LOFeasible() {
 			return true
 		}
-		var pick mcs.Task
+		pick := -1
 		var worst mcs.Ticks = -1
-		for _, t := range ts {
-			if !t.IsHC() {
-				continue
-			}
-			if gap := t.Deadline - as[t.ID]; gap > worst {
-				worst, pick = gap, t
+		for j := 0; j < a.sh.NumHC(); j++ {
+			if gap := a.sh.HCDeadline(j) - a.sh.HCVD(j); gap > worst {
+				worst, pick = gap, j
 			}
 		}
 		if worst <= 0 {
 			return false
 		}
-		as[pick.ID] = as[pick.ID] + (pick.Deadline-as[pick.ID]+1)/2
+		d := a.sh.HCVD(pick)
+		a.sh.SetHCVD(pick, d+(a.sh.HCDeadline(pick)-d+1)/2)
 	}
-	return a.eng.LOFeasible(ts, as)
+	return a.sh.LOFeasible()
 }
 
-// Forget implements kernel.Analyzer; no cross-call memo is kept.
-func (a *Analyzer) Forget(int) {}
+// promoteFiltered records a filter-resolved accept, extending the cached
+// curves when they are live so later exact probes stay seeded.
+func (a *Analyzer) promoteFiltered(ts mcs.TaskSet, warm bool, q ey.QuickState) {
+	if warm {
+		x := ts[len(ts)-1]
+		if a.curvesOK {
+			a.sh.Extend(x)
+		}
+		a.memo.PromoteWarm(x, q)
+		return
+	}
+	a.curvesOK = false
+	a.memo.PromoteCold(ts, q)
+}
+
+// Forget implements kernel.Analyzer: memo compaction plus a curve rebuild
+// for the compacted set, keeping the memo valid across releases.
+func (a *Analyzer) Forget(id int) {
+	if !a.memo.Forget(id) {
+		return
+	}
+	if a.curvesOK {
+		a.sh.Reset(mcs.TaskSet(a.memo.Mem))
+	}
+}
 
 // Invalidate implements kernel.Analyzer.
-func (a *Analyzer) Invalidate() {}
+func (a *Analyzer) Invalidate() {
+	a.memo.Invalidate()
+	a.curvesOK = false
+}
 
 // Counters implements kernel.Analyzer.
 func (a *Analyzer) Counters() *kernel.Counters { return &a.ctr }

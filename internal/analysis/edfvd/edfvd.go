@@ -42,9 +42,14 @@ type Result struct {
 // deadline shape — it uses utilizations only — but the verdict is only
 // meaningful for implicit deadlines).
 func Analyze(ts mcs.TaskSet) Result {
-	a := ts.ULL()
-	b := ts.ULH()
-	c := ts.UHH()
+	return decide(ts.ULL(), ts.ULH(), ts.UHH())
+}
+
+// decide is the closed-form test on the three utilization sums. Split out
+// so the incremental analyzer can re-run the decision on folded sums
+// without materializing a task set; verdicts are a pure function of
+// (a, b, c), which is what makes the warm path trivially exact.
+func decide(a, b, c float64) Result {
 	const eps = 1e-12 // absorb float accumulation noise at the boundary
 
 	if a+c <= 1+eps {

@@ -40,6 +40,11 @@ func (o Options) maxIter() int {
 	return o.MaxIter
 }
 
+// EffectiveMaxIter exposes the default coercion (MaxIter ≤ 0 → 256) for
+// callers outside the package that replay the shaping loop, so their
+// iteration budget matches the stateless one exactly.
+func (o Options) EffectiveMaxIter() int { return o.maxIter() }
+
 // Result reports the verdict and, when schedulable, the virtual-deadline
 // assignment (task ID → LO-mode relative deadline for HC tasks).
 type Result struct {

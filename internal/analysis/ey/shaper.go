@@ -1,0 +1,355 @@
+package ey
+
+import (
+	"mcsched/internal/analysis/dbf"
+	"mcsched/internal/mcs"
+)
+
+// Shaper is the array-backed twin of Engine + Assignment that the per-core
+// analyzers (here and in package ecdf) run on. Where the stateless path
+// keeps the virtual-deadline assignment in an ID-keyed map and rebuilds
+// the step/sawtooth curves from it before every feasibility check, the
+// Shaper stores the curves themselves, indexed by task position, and
+// mutates them in place when a deadline moves — a feasibility check is
+// then a horizon fold plus a QPA walk, with no per-task map traffic.
+//
+// Verdicts stay bit-identical to the Engine because the curves it would
+// rebuild are exactly the ones the Shaper maintains: loCurves emits one
+// step per task in slice order with D = the task's current LO deadline,
+// hiCurves one sawtooth per HC task in slice order with VD = the current
+// virtual deadline — and Shape/tuneStep below visit candidates in the
+// same order, compare gains with the same strict inequality, and probe
+// the same LO-feasibility boundary. (The equivalence leans on task IDs
+// being unique within a set, which every producer in this repo
+// guarantees; an ID-keyed map would alias duplicate IDs where positional
+// arrays would not.)
+//
+// The zero value is ready to use; a Shaper is not safe for concurrent
+// use.
+type Shaper struct {
+	steps  []dbf.Step     // per task, D = current LO-mode deadline
+	saws   []dbf.Sawtooth // per HC task, ts order, VD = current virtual deadline
+	sawOf  []int          // task index → index into saws, -1 for LC
+	taskOf []int          // saw index → task index
+	frozen []bool         // per saw, the shaping loop's bookkeeping
+
+	// Cached per-curve horizon fold terms. The QPA horizon is a fold of
+	// four components per curve — utilization, affine offset, transient
+	// length, hyperperiod — of which only the offset and transient depend
+	// on the curve's current deadline. offLO/offHI hold each curve's
+	// offset term, recomputed by setHC only for the curve whose deadline
+	// moved; a feasibility call then re-sums them in curve order (plain
+	// float adds, no divisions), which is bit-identical to the full
+	// HorizonLO/HorizonHI fold because the terms are computed by the same
+	// expressions and summed in the same order.
+	offLO []float64 // per step: max(0, (T−D)·C/T), as LOAccum.Add folds it
+	offHI []float64 // per saw: CH·(1 − (D−VD)/T), as HIAccum.Add folds it
+
+	// Horizon folds of the loosest assignment (every VD = D), extended
+	// O(1) per appended task. Their utilization and hyperperiod components
+	// are deadline-independent, so every feasibility call below reuses
+	// them as-is — only the offset/transient components are re-summed.
+	looseLO dbf.LOAccum
+	looseHI dbf.HIAccum
+}
+
+// loOffTerm is the offset term LOAccum.Add would fold for st — the same
+// expression, so cached copies stay bit-identical (folding an explicit 0
+// for non-positive terms matches skipping the add: the sum is unchanged
+// either way).
+func loOffTerm(st dbf.Step) float64 {
+	ui := float64(st.C) / float64(st.T)
+	if d := float64(st.T-st.D) * ui; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// hiOffTerm is the offset term HIAccum.Add would fold for sw.
+func hiOffTerm(sw dbf.Sawtooth) float64 {
+	return float64(sw.CH) * (1 - float64(sw.D-sw.VD)/float64(sw.T))
+}
+
+// Reset rebuilds the curves for ts under the loosest assignment
+// (d_i = D_i), clearing all shaping state. The task slice is only read
+// during the call.
+func (s *Shaper) Reset(ts mcs.TaskSet) {
+	s.steps = s.steps[:0]
+	s.saws = s.saws[:0]
+	s.sawOf = s.sawOf[:0]
+	s.taskOf = s.taskOf[:0]
+	s.frozen = s.frozen[:0]
+	s.offLO = s.offLO[:0]
+	s.offHI = s.offHI[:0]
+	s.looseLO = dbf.LOAccum{}
+	s.looseHI = dbf.HIAccum{}
+	for _, t := range ts {
+		s.Extend(t)
+	}
+}
+
+// ExtendUndo captures the state Extend is about to change, so a rejected
+// probe can drop the appended task again (the accumulators cannot be
+// un-folded, so they are saved by value).
+type ExtendUndo struct {
+	tasks, saws int
+	looseLO     dbf.LOAccum
+	looseHI     dbf.HIAccum
+}
+
+// Extend appends one task's loosest-assignment curves and folds its terms
+// into the loose horizon accumulators. The curves must currently describe
+// a loosest assignment prefix (Reset, RestoreLoosest, or a previous
+// Extend).
+func (s *Shaper) Extend(x mcs.Task) ExtendUndo {
+	u := ExtendUndo{tasks: len(s.steps), saws: len(s.saws), looseLO: s.looseLO, looseHI: s.looseHI}
+	st := dbf.Step{C: x.CLo(), D: x.Deadline, T: x.Period}
+	s.steps = append(s.steps, st)
+	s.offLO = append(s.offLO, loOffTerm(st))
+	s.looseLO.Add(st)
+	if x.IsHC() {
+		s.sawOf = append(s.sawOf, len(s.saws))
+		sw := dbf.Sawtooth{CL: x.CLo(), CH: x.CHi(), D: x.Deadline, VD: x.Deadline, T: x.Period}
+		s.saws = append(s.saws, sw)
+		s.taskOf = append(s.taskOf, u.tasks)
+		s.frozen = append(s.frozen, false)
+		s.offHI = append(s.offHI, hiOffTerm(sw))
+		s.looseHI.Add(sw)
+	} else {
+		s.sawOf = append(s.sawOf, -1)
+	}
+	return u
+}
+
+// Truncate undoes an Extend: the appended task's curves are dropped and
+// the loose accumulators restored. Deadline mutations on the surviving
+// prefix are NOT undone; callers restore those with RestoreLoosest.
+func (s *Shaper) Truncate(u ExtendUndo) {
+	s.steps = s.steps[:u.tasks]
+	s.sawOf = s.sawOf[:u.tasks]
+	s.offLO = s.offLO[:u.tasks]
+	s.saws = s.saws[:u.saws]
+	s.taskOf = s.taskOf[:u.saws]
+	s.frozen = s.frozen[:u.saws]
+	s.offHI = s.offHI[:u.saws]
+	s.looseLO, s.looseHI = u.looseLO, u.looseHI
+}
+
+// RestoreLoosest resets every virtual deadline back to the real deadline,
+// returning the curves to the loosest assignment after a shaping run.
+func (s *Shaper) RestoreLoosest() {
+	for j := range s.saws {
+		s.setHC(j, s.saws[j].D)
+	}
+}
+
+// Scale overwrites every virtual deadline with the λ-scaled assignment
+// d = C^L + λ·(D − C^L), clamped to [C^L, D] — the array form of
+// ScaledInto, used by package ecdf's restarts.
+func (s *Shaper) Scale(lambda float64) {
+	for j := range s.saws {
+		cl, dl := s.saws[j].CL, s.saws[j].D
+		span := float64(dl - cl)
+		d := cl + mcs.Ticks(lambda*span)
+		if d < cl {
+			d = cl
+		}
+		if d > dl {
+			d = dl
+		}
+		s.setHC(j, d)
+	}
+}
+
+// setHC moves HC task j's virtual deadline, keeping its LO step, HI
+// sawtooth and cached fold terms in sync.
+func (s *Shaper) setHC(j int, d mcs.Ticks) {
+	s.saws[j].VD = d
+	i := s.taskOf[j]
+	s.steps[i].D = d
+	s.offLO[i] = loOffTerm(s.steps[i])
+	s.offHI[j] = hiOffTerm(s.saws[j])
+}
+
+// NumTasks returns the number of tasks under analysis.
+func (s *Shaper) NumTasks() int { return len(s.steps) }
+
+// NumHC returns the number of HC tasks (= sawtooth curves).
+func (s *Shaper) NumHC() int { return len(s.saws) }
+
+// HCDeadline returns the real deadline of the j-th HC task (saw order).
+func (s *Shaper) HCDeadline(j int) mcs.Ticks { return s.saws[j].D }
+
+// HCVD returns the current virtual deadline of the j-th HC task.
+func (s *Shaper) HCVD(j int) mcs.Ticks { return s.saws[j].VD }
+
+// SetHCVD moves the j-th HC task's virtual deadline (package ecdf's
+// relaxation uses it).
+func (s *Shaper) SetHCVD(j int, d mcs.Ticks) { s.setHC(j, d) }
+
+// LOFeasible runs the LO-mode QPA test under the current deadlines. The
+// horizon matches dbf.HorizonLO over the same curves bit for bit: the
+// utilization and hyperperiod components are deadline-independent and
+// come from the loose fold, the offset terms are the cached per-step
+// values re-summed in step order.
+func (s *Shaper) LOFeasible() bool {
+	if len(s.steps) == 0 {
+		return true
+	}
+	var off float64
+	var maxD mcs.Ticks
+	for i := range s.steps {
+		off += s.offLO[i]
+		if d := s.steps[i].D; d > maxD {
+			maxD = d
+		}
+	}
+	L, ok := dbf.Horizon(s.looseLO.U, off, maxD, s.looseLO.Hyper, s.looseLO.HyperOK)
+	if !ok {
+		return false
+	}
+	return dbf.QPA(dbf.StepSum(s.steps), L)
+}
+
+// HIFeasible runs the HI-mode QPA test under the current virtual
+// deadlines, returning a violation witness when it fails. The horizon is
+// assembled like LOFeasible's, matching dbf.HorizonHI bit for bit.
+func (s *Shaper) HIFeasible() (witness mcs.Ticks, ok bool) {
+	if len(s.saws) == 0 {
+		return -1, true
+	}
+	var off float64
+	var maxOff mcs.Ticks
+	for j := range s.saws {
+		off += s.offHI[j]
+		if o := s.saws[j].D - s.saws[j].VD; o > maxOff {
+			maxOff = o
+		}
+	}
+	L, ok := dbf.Horizon(s.looseHI.U, off, maxOff, s.looseHI.Hyper, s.looseHI.HyperOK)
+	if !ok {
+		return 0, false
+	}
+	return dbf.QPAWitness(dbf.SawSum(s.saws), L)
+}
+
+// Shape runs the failure-guided tuning loop from the current assignment —
+// the array twin of Engine.shape, starting with a fresh frozen set.
+func (s *Shaper) Shape(maxIter int) bool {
+	for j := range s.frozen {
+		s.frozen[j] = false
+	}
+	for iters := 0; iters < maxIter; iters++ {
+		w, ok := s.HIFeasible()
+		if ok {
+			return true
+		}
+		if !s.tuneStep(w) {
+			return false
+		}
+	}
+	return false
+}
+
+// ShapeResume is Shape for a caller that already ran iteration zero's
+// HI-mode check (at the loosest assignment, via HIFeasible) and holds
+// its violation witness: the trajectory continues with tuneStep on that
+// witness, so the overall run is step-for-step the same loop.
+func (s *Shaper) ShapeResume(w mcs.Ticks, maxIter int) bool {
+	for j := range s.frozen {
+		s.frozen[j] = false
+	}
+	if maxIter < 1 {
+		return false
+	}
+	if !s.tuneStep(w) {
+		return false
+	}
+	for iters := 1; iters < maxIter; iters++ {
+		w, ok := s.HIFeasible()
+		if ok {
+			return true
+		}
+		if !s.tuneStep(w) {
+			return false
+		}
+	}
+	return false
+}
+
+// tuneStep is Engine.tuneStep on the arrays: shrink the virtual deadline
+// of the unfrozen HC task with the largest demand reduction at the
+// witness w, keeping the LO test passing. Candidate order, gain
+// arithmetic, the strict best comparison, the clamped target and the
+// binary search all mirror the map version exactly.
+func (s *Shaper) tuneStep(w mcs.Ticks) bool {
+	needed := dbf.SawSum(s.saws).Value(w) - w
+	if needed <= 0 {
+		needed = 1
+	}
+
+	best := -1
+	var bestGain mcs.Ticks
+	for j := range s.saws {
+		if s.frozen[j] {
+			continue
+		}
+		sw := s.saws[j]
+		if sw.VD <= sw.CL {
+			continue
+		}
+		cur := sw.Value(w)
+		min := dbf.Sawtooth{CL: sw.CL, CH: sw.CH, D: sw.D, VD: sw.CL, T: sw.T}.Value(w)
+		gain := cur - min
+		if gain <= 0 {
+			continue
+		}
+		if best < 0 || gain > bestGain {
+			best, bestGain = j, gain
+		}
+	}
+	if best < 0 {
+		return false
+	}
+
+	hi, lo := s.saws[best].VD, s.saws[best].CL
+	target := hi - needed
+	if target < lo {
+		target = lo
+	}
+	try := func(d mcs.Ticks) bool {
+		old := s.saws[best].VD
+		s.setHC(best, d)
+		if s.LOFeasible() {
+			return true
+		}
+		s.setHC(best, old)
+		return false
+	}
+	if try(target) {
+		return true
+	}
+	loBound, hiBound := target+1, hi-1
+	moved := false
+	for loBound <= hiBound {
+		mid := (loBound + hiBound) / 2
+		if try(mid) {
+			moved = true
+			hiBound = mid - 1 // try to shrink further
+		} else {
+			loBound = mid + 1
+		}
+	}
+	if !moved {
+		s.frozen[best] = true
+		// Another candidate may still help on the next iteration; report
+		// progress only if any unfrozen candidate remains.
+		for j := range s.saws {
+			if !s.frozen[j] && s.saws[j].VD > s.saws[j].CL {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -88,12 +88,19 @@ type Counters struct {
 	// ExactRuns counts full (cold) kernel runs.
 	ExactRuns uint64
 	// IncrementalHits counts decisions resolved from memoized per-core
-	// state: bottom-insertion under Audsley priority assignment, partial
-	// re-verification under deadline-monotonic orders, reused prefix sums.
+	// state without a full kernel run: bottom-insertion under Audsley
+	// priority assignment, partial re-verification under
+	// deadline-monotonic orders, reused prefix sums, and the demand-bound
+	// families' zero-iteration decisions off cached curves and horizon
+	// folds (an extended set accepted or rejected before any shaping or
+	// QPA re-walk beyond the seeded checks).
 	IncrementalHits uint64
-	// WarmStarts counts fixed-point solves seeded from a previously
-	// converged response time instead of the cold starting point — each is
-	// a response-time iteration that skipped its ramp-up.
+	// WarmStarts counts exact analyses seeded from memoized state instead
+	// of a cold start: fixed-point solves resuming from a previously
+	// converged response time, and demand-bound runs starting from cached
+	// curves, filter sums and horizon folds extended by one task. A warm
+	// start that still runs the full kernel also counts as an ExactRun; one
+	// that resolves without it counts as an IncrementalHit.
 	WarmStarts uint64
 }
 

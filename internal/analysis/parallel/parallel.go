@@ -8,9 +8,12 @@
 //   - Engine.First evaluates an ordered sequence of predicates ("does core k
 //     accept this task?") and returns the first index that holds, exactly as
 //     a serial loop would, but evaluating up to Workers candidates
-//     concurrently in chunks. The partitioning strategies in internal/core
-//     and the admission hot path in internal/admission route their
-//     candidate-core scans through it.
+//     concurrently in chunks. FirstWidth is the same scan with a
+//     caller-chosen chunk width, so cheap predicates can amortize the
+//     per-chunk fan-out over wider chunks. The partitioning strategies in
+//     internal/core and the admission hot path in internal/admission route
+//     their candidate-core scans through it, with an adaptive width
+//     controller on the Assigner picking the chunking per test family.
 //   - Map evaluates an index-addressed function over [0, n) with bounded
 //     concurrency and returns the results in index order. The experiment
 //     driver in internal/experiments uses it for task-set-level parallelism
@@ -89,14 +92,30 @@ func (e *Engine) Workers() int { return e.workers }
 //
 //	for i := 0; i < n; i++ { if pred(i) { return i } }
 //
-// but evaluating up to Workers predicates concurrently. Evaluation proceeds
-// in chunks of Workers indices: a chunk is fully evaluated in parallel, then
-// scanned in order, so at most Workers−1 speculative evaluations are wasted
-// past the winning index. pred must be safe for concurrent invocation and
-// should be pure; impure predicates still yield the serial answer as long as
-// each pred(i) is independent of the others.
+// but evaluating up to Workers predicates concurrently, in chunks of
+// Workers indices. It is FirstWidth at the default chunk width.
 func (e *Engine) First(n int, pred func(i int) bool) int {
-	if e.workers == 1 || n <= 1 {
+	return e.FirstWidth(n, e.workers, pred)
+}
+
+// FirstWidth is First with an explicit chunk width: evaluation proceeds in
+// chunks of width indices, each chunk fanned across min(Workers, width)
+// goroutines in a strided assignment (goroutine j takes chunk indices j,
+// j+g, j+2g, …), then the chunk's hits are scanned in order. The returned
+// index is the serial answer for every width — width trades goroutine
+// fan-out overhead against speculative evaluations past the winning index
+// (at most width−1 of them, all inside the winning chunk; no index beyond
+// the winning chunk is ever evaluated). Callers with cheap predicates pick
+// wide chunks to amortize the per-chunk synchronization, callers with
+// expensive ones narrow chunks to bound wasted work; see the adaptive
+// controller in internal/core. pred must be safe for concurrent
+// invocation, as for First.
+func (e *Engine) FirstWidth(n, width int, pred func(i int) bool) int {
+	if width < 1 {
+		width = 1
+	}
+	g := min(e.workers, width)
+	if g == 1 || n <= 1 {
 		for i := 0; i < n; i++ {
 			if pred(i) {
 				return i
@@ -104,26 +123,35 @@ func (e *Engine) First(n int, pred func(i int) bool) int {
 		}
 		return -1
 	}
-	hits := make([]bool, min(e.workers, n))
+	hits := make([]bool, min(width, n))
 	var first atomic.Pointer[capturedPanic]
 	for base := 0; base < n; base += len(hits) {
 		c := min(len(hits), n-base)
+		gc := min(g, c)
 		var wg sync.WaitGroup
-		for j := 1; j < c; j++ {
+		for j := 1; j < gc; j++ {
 			wg.Add(1)
 			go func(j int) {
 				defer wg.Done()
-				guard(&first, func() { hits[j] = pred(base + j) })
+				guard(&first, func() {
+					for i := j; i < c; i += gc {
+						hits[i] = pred(base + i)
+					}
+				})
 			}(j)
 		}
-		// The calling goroutine evaluates the chunk's first index itself, so
-		// a serial engine path is never slower than the plain loop.
-		guard(&first, func() { hits[0] = pred(base) })
+		// The calling goroutine takes stride 0 itself, so a serial engine
+		// path is never slower than the plain loop.
+		guard(&first, func() {
+			for i := 0; i < c; i += gc {
+				hits[i] = pred(base + i)
+			}
+		})
 		wg.Wait()
 		rethrow(&first)
-		for j := 0; j < c; j++ {
-			if hits[j] {
-				return base + j
+		for i := 0; i < c; i++ {
+			if hits[i] {
+				return base + i
 			}
 		}
 	}

@@ -139,3 +139,99 @@ func TestDefaultsAndEdges(t *testing.T) {
 		t.Errorf("Map over empty domain returned %v", out)
 	}
 }
+
+// TestFirstWidthMatchesSerial fuzzes random predicate vectors across worker
+// counts AND chunk widths: the returned index must be the serial answer at
+// every (workers, width) combination, including widths below, equal to and
+// above the worker count.
+func TestFirstWidthMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	workers := []int{1, 2, 3, 7, runtime.GOMAXPROCS(0)}
+	widths := []int{0, 1, 2, 3, 5, 8, 16, 40}
+	for trial := 0; trial < 150; trial++ {
+		n := rng.Intn(30)
+		truth := make([]bool, n)
+		for i := range truth {
+			truth[i] = rng.Intn(5) == 0
+		}
+		pred := func(i int) bool { return truth[i] }
+		want := serialFirst(n, pred)
+		for _, w := range workers {
+			e := New(w)
+			for _, width := range widths {
+				if got := e.FirstWidth(n, width, pred); got != want {
+					t.Fatalf("trial %d workers %d width %d: FirstWidth=%d want %d (truth %v)",
+						trial, w, width, got, want, truth)
+				}
+			}
+		}
+	}
+}
+
+// TestFirstWidthBoundsSpeculation verifies the width-controlled chunking
+// contract at every width: each index up to the end of the winning chunk is
+// evaluated exactly once, and no index beyond the winning chunk is ever
+// evaluated — the property the adaptive controller in internal/core leans
+// on to bound wasted work.
+func TestFirstWidthBoundsSpeculation(t *testing.T) {
+	const n = 64
+	for _, w := range []int{1, 2, 4, 8} {
+		e := New(w)
+		for _, width := range []int{1, 2, 3, 4, 7, 8, 16, 64} {
+			for _, hit := range []int{0, 1, 5, 17, 40, 63} {
+				var calls [n]atomic.Int32
+				got := e.FirstWidth(n, width, func(i int) bool {
+					calls[i].Add(1)
+					return i == hit
+				})
+				if got != hit {
+					t.Fatalf("workers %d width %d: FirstWidth=%d want %d", w, width, got, hit)
+				}
+				limit := (hit/width + 1) * width // end of the winning chunk
+				if limit > n {
+					limit = n
+				}
+				for i := range calls {
+					c := calls[i].Load()
+					switch {
+					case i <= hit && c != 1:
+						// Everything up to the hit is evaluated exactly once.
+						t.Errorf("workers %d width %d hit %d: index %d evaluated %d times, want 1",
+							w, width, hit, i, c)
+					case i < limit && c > 1:
+						// Within the winning chunk, speculation runs at most
+						// once (the serial path legitimately skips these).
+						t.Errorf("workers %d width %d hit %d: index %d evaluated %d times, want <=1",
+							w, width, hit, i, c)
+					case i >= limit && c != 0:
+						t.Errorf("workers %d width %d hit %d: index %d beyond winning chunk evaluated %d times",
+							w, width, hit, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFirstWidthDefaultEqualsFirst pins the delegation contract: First is
+// FirstWidth at width = Workers, so both see identical evaluation sets.
+func TestFirstWidthDefaultEqualsFirst(t *testing.T) {
+	e := New(4)
+	for hit := 0; hit < 20; hit++ {
+		var a, b [20]atomic.Int32
+		pred := func(calls *[20]atomic.Int32) func(int) bool {
+			return func(i int) bool {
+				calls[i].Add(1)
+				return i == hit
+			}
+		}
+		if x, y := e.First(20, pred(&a)), e.FirstWidth(20, e.Workers(), pred(&b)); x != y {
+			t.Fatalf("hit %d: First=%d FirstWidth=%d", hit, x, y)
+		}
+		for i := range a {
+			if a[i].Load() != b[i].Load() {
+				t.Fatalf("hit %d: index %d evaluated %d vs %d times", hit, i, a[i].Load(), b[i].Load())
+			}
+		}
+	}
+}

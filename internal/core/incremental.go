@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"mcsched/internal/analysis/kernel"
 	"mcsched/internal/mcs"
@@ -55,8 +56,19 @@ type Assigner struct {
 	// orderBuf pools the placement-order permutation.
 	orderBuf []int
 	// prober decides candidate-core scans; serial by default, fanned across
-	// worker goroutines when SetProber installs a parallel engine.
-	prober Prober
+	// worker goroutines when SetProber installs a parallel engine. chunked
+	// is the same prober when it supports width-controlled scans (detected
+	// once at SetProber); costEWMA then tracks the observed per-candidate
+	// probe cost in nanoseconds, from which chunkWidth derives the chunk
+	// width for the next scan. Families with cheap probes (the closed-form
+	// and warm-start paths) get wide chunks that amortize the per-chunk
+	// goroutine fan-out; expensive cold solves stay at minimal widths that
+	// bound speculative work. The controller only ever picks the width —
+	// FirstWidth returns the serial answer at every width, so adaptivity
+	// affects wall-clock time, never placements.
+	prober   Prober
+	chunked  ChunkedProber
+	costEWMA float64
 	// lastCore is the core of the most recent successful TryAssign; used
 	// by strategies that maintain their own fit keys.
 	lastCore int
@@ -95,6 +107,8 @@ func (a *Assigner) SetProber(p Prober) {
 		p = serialProber{}
 	}
 	a.prober = p
+	a.chunked, _ = p.(ChunkedProber)
+	a.costEWMA = 0
 }
 
 // NumCores returns the number of processors.
@@ -230,9 +244,73 @@ func (a *Assigner) FirstFitting(task mcs.Task, order []int) int {
 		}
 		return -1
 	}
-	i := a.prober.First(len(order), func(i int) bool {
-		return a.Fits(task, order[i])
-	})
+	pred := func(i int) bool { return a.Fits(task, order[i]) }
+	if a.chunked != nil {
+		return a.firstFittingChunked(order, pred)
+	}
+	i := a.prober.First(len(order), pred)
+	if i < 0 {
+		return -1
+	}
+	return order[i]
+}
+
+// Chunk-width controller constants: the controller sizes chunks so one
+// chunk's serial-equivalent work is about chunkTargetNs, clamped to
+// [workers, chunkWidthMax×workers]; the cost estimate is an EWMA over
+// observed scans with weight chunkEWMAAlpha.
+const (
+	chunkTargetNs  = 16e3
+	chunkWidthMax  = 4
+	chunkEWMAAlpha = 0.25
+)
+
+// chunkWidth picks the next scan's chunk width from the probe-cost EWMA.
+// Before any observation it stays at the worker count — the same chunking
+// First uses — so the controller can only widen once real cost data shows
+// probes are cheap enough to amortize.
+func (a *Assigner) chunkWidth() int {
+	w := a.chunked.Workers()
+	if a.costEWMA <= 0 {
+		return w
+	}
+	width := int(chunkTargetNs / a.costEWMA)
+	if width < w {
+		return w
+	}
+	if width > chunkWidthMax*w {
+		return chunkWidthMax * w
+	}
+	return width
+}
+
+// firstFittingChunked runs one width-controlled candidate scan and feeds
+// the observed per-candidate cost back into the EWMA. Timing wraps only
+// this path — the serial inline path above stays measurement-free — and
+// the measurement feeds the width choice only, never the verdict.
+func (a *Assigner) firstFittingChunked(order []int, pred func(i int) bool) int {
+	width := a.chunkWidth()
+	start := time.Now()
+	i := a.chunked.FirstWidth(len(order), width, pred)
+	elapsed := time.Since(start)
+
+	// Estimate per-candidate cost as wall-clock per strided round: each
+	// round evaluates up to g candidates concurrently, so a round's
+	// duration approximates one candidate's cost.
+	evaluated := len(order)
+	if i >= 0 {
+		evaluated = min((i/width+1)*width, len(order))
+	}
+	if evaluated > 0 {
+		g := min(a.chunked.Workers(), width)
+		rounds := (evaluated + g - 1) / g
+		cost := float64(elapsed.Nanoseconds()) / float64(rounds)
+		if a.costEWMA <= 0 {
+			a.costEWMA = cost
+		} else {
+			a.costEWMA += chunkEWMAAlpha * (cost - a.costEWMA)
+		}
+	}
 	if i < 0 {
 		return -1
 	}

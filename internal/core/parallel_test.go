@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mcsched/internal/analysis/edfvd"
+	"mcsched/internal/analysis/ey"
 	"mcsched/internal/analysis/parallel"
 	"mcsched/internal/mcs"
 	"mcsched/internal/taskgen"
@@ -101,5 +102,78 @@ func TestSetProberNilRestoresSerial(t *testing.T) {
 	}
 	if a.LastCore() != 0 {
 		t.Fatalf("first-fit placed on core %d, want 0", a.LastCore())
+	}
+}
+
+// TestAdaptiveChunkedEquivalence drives two assigners — one serial, one with
+// the width-adapting chunked prober — through an identical admit/release
+// stream across several test families and worker counts, and requires every
+// placement decision to match. The chunk-width controller adapts from
+// observed probe cost mid-stream, so this exercises scans at whatever widths
+// the controller picks; the contract is that width never changes placements.
+func TestAdaptiveChunkedEquivalence(t *testing.T) {
+	tests := []Test{edfvd.Test{}, ey.Test{Opts: ey.DefaultOptions()}}
+	for _, test := range tests {
+		test := test
+		t.Run(test.Name(), func(t *testing.T) {
+			for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+				const m = 8
+				serial := NewAssigner(m, test)
+				chunked := NewAssigner(m, test)
+				chunked.SetProber(parallel.New(w))
+				if chunked.chunked == nil {
+					t.Fatal("parallel engine not detected as a ChunkedProber")
+				}
+				rng := rand.New(rand.NewSource(int64(41 + w)))
+				var resident []int
+				for i := 0; i < 120; i++ {
+					if len(resident) > 0 && rng.Intn(3) == 0 {
+						id := resident[rng.Intn(len(resident))]
+						_, ok1 := serial.Remove(id)
+						_, ok2 := chunked.Remove(id)
+						if ok1 != ok2 {
+							t.Fatalf("op %d: Remove(%d) diverged: %v vs %v", i, id, ok1, ok2)
+						}
+						for j, r := range resident {
+							if r == id {
+								resident = append(resident[:j], resident[j+1:]...)
+								break
+							}
+						}
+						continue
+					}
+					period := mcs.Ticks(10 + rng.Intn(490))
+					cl := 1 + mcs.Ticks(rng.Intn(int(period/10)+1))
+					var task mcs.Task
+					if rng.Intn(2) == 0 {
+						ch := cl + mcs.Ticks(rng.Intn(int(period/5)+1))
+						if ch > period {
+							ch = period
+						}
+						task = mcs.NewHC(i, cl, ch, period)
+					} else {
+						task = mcs.NewLC(i, cl, period)
+					}
+					order := serial.PlacementOrder(task)
+					k1 := serial.FirstFitting(task, order)
+					orderC := chunked.PlacementOrder(task)
+					k2 := chunked.FirstFitting(task, orderC)
+					if k1 != k2 {
+						t.Fatalf("op %d: placement diverged: serial core %d vs chunked core %d", i, k1, k2)
+					}
+					if k1 >= 0 {
+						serial.Commit(task, k1)
+						chunked.Commit(task, k2)
+						resident = append(resident, task.ID)
+					}
+				}
+				if len(resident) == 0 {
+					t.Fatal("stream admitted nothing; sweep uninformative")
+				}
+				if chunked.costEWMA <= 0 {
+					t.Error("chunk-width controller observed no probe cost")
+				}
+			}
+		})
 	}
 }

@@ -109,6 +109,20 @@ type Prober interface {
 	First(n int, pred func(i int) bool) int
 }
 
+// ChunkedProber is a Prober that additionally supports width-controlled
+// scans (internal/analysis/parallel.Engine implements it). FirstWidth must
+// return the same index as First — the serial answer — for every width;
+// width only shifts the trade-off between per-chunk fan-out overhead and
+// speculative evaluations past the winning index. The Assigner detects the
+// capability once at SetProber and then steers the width per test family
+// from observed probe cost, so swapping a plain Prober for a chunked one
+// never changes placements, only wall-clock time.
+type ChunkedProber interface {
+	Prober
+	FirstWidth(n, width int, pred func(i int) bool) int
+	Workers() int
+}
+
 // serialProber is the default inline scan.
 type serialProber struct{}
 
