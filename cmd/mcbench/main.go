@@ -421,6 +421,41 @@ func admitBatch64(test mcsched.Test, cached bool, workers int) func(*testing.B, 
 	}
 }
 
+// admitBatch64Placed mirrors admitBatch64 (cold cache, serial probing)
+// under a named placement heuristic — the tracked per-heuristic cost of the
+// placement registry, comparable against the default-placement entries.
+func admitBatch64Placed(test mcsched.Test, placement string) func(*testing.B, *Counters) {
+	return func(b *testing.B, c *Counters) {
+		cfg := mcsched.DefaultAdmissionConfig()
+		cfg.CacheCapacity = -1
+		ctrl := mcsched.NewAdmissionController(cfg)
+		sys, err := ctrl.CreateSystemWithPlacement("bench", 8, test, placement)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := admitTasks(64)
+		ids := make([]int, len(batch))
+		for i, t := range batch {
+			ids[i] = t.ID
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sys.AdmitBatch(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Admitted {
+				if _, err := sys.Release(ids...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		collect(ctrl, c)
+	}
+}
+
 // partition is one full offline partitioning run on an 8-core load.
 func partition(strategy mcsched.Strategy, test mcsched.Test) func(*testing.B, *Counters) {
 	return func(b *testing.B, _ *Counters) {
@@ -636,6 +671,16 @@ func replStreamBatch64() func(*testing.B, *Counters) {
 	}
 }
 
+// strategyByName resolves a registry strategy; the bench table names are
+// fixed, so a miss is a programming error.
+func strategyByName(name string) mcsched.Strategy {
+	s, ok := mcsched.StrategyByName(name)
+	if !ok {
+		panic("unknown strategy " + name)
+	}
+	return s
+}
+
 func benches() []bench {
 	return []bench{
 		{"admit/single/cold", admitSingle(mcsched.EDFVD(), false, false, false)},
@@ -651,9 +696,14 @@ func benches() []bench {
 		{"admit/batch64/edf-cold", admitBatch64(mcsched.PlainEDF(true), false, 0)},
 		{"admit/batch64/amc-cold", admitBatch64(mcsched.AMC(), false, 0)},
 		{"admit/batch64/edfvd-par4", admitBatch64(mcsched.EDFVD(), false, 4)},
+		{"admit/batch64/edfvd-ff", admitBatch64Placed(mcsched.EDFVD(), "ff")},
+		{"admit/batch64/edfvd-nf", admitBatch64Placed(mcsched.EDFVD(), "nf")},
+		{"admit/batch64/edfvd-bf-total", admitBatch64Placed(mcsched.EDFVD(), "bf-total")},
+		{"admit/batch64/edfvd-wf-total", admitBatch64Placed(mcsched.EDFVD(), "wf-total")},
+		{"admit/batch64/edfvd-prm-ll", admitBatch64Placed(mcsched.EDFVD(), "prm-ll")},
 		{"admit/batch64/amc-cold-par4", admitBatch64(mcsched.AMC(), false, 4)},
-		{"partition/cuudp-amc", partition(mcsched.CUUDP(), mcsched.AMC())},
-		{"partition/cuudp-edfvd", partition(mcsched.CUUDP(), mcsched.EDFVD())},
+		{"partition/cuudp-amc", partition(strategyByName("CU-UDP"), mcsched.AMC())},
+		{"partition/cuudp-edfvd", partition(strategyByName("CU-UDP"), mcsched.EDFVD())},
 		{"simulate/hyperperiod-small", simulateSystem(2, 5)},
 		{"simulate/hyperperiod-1k", simulateSystem(64, 16)},
 		{"journal/admit-fsync-serial-64w", journalAdmitWriters(64, false)},

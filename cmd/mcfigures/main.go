@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6a, 6b or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6a, 6b, placement or all")
 	sets := flag.Int("sets", 200, "task sets per UB bucket (paper: 1000)")
 	seed := flag.Int64("seed", 2017, "base RNG seed")
 	outDir := flag.String("out", "figures", "output directory for CSV/SVG files")
@@ -53,7 +53,11 @@ func main() {
 // EDF-VD — the empirical companion to the inherited 8/3 speed-up bound.
 func runSpeedup(sets int, seed int64) error {
 	fmt.Println("empirical speed-up survey (UB ≤ 1, EDF-VD, m=4, theoretical bound 8/3 ≈ 2.667):")
-	for _, strat := range []mcsched.Strategy{mcsched.CAUDP(), mcsched.CUUDP()} {
+	for _, name := range []string{"CA-UDP", "CU-UDP"} {
+		strat, ok := mcsched.StrategyByName(name)
+		if !ok {
+			return fmt.Errorf("strategy %q missing from the registry", name)
+		}
 		algo := mcsched.Algorithm{Strategy: strat, Test: mcsched.EDFVD()}
 		survey, err := mcsched.RunSpeedupSurvey(algo, 4, sets, 1.0, seed)
 		if err != nil {
@@ -110,7 +114,38 @@ func run(fig string, sets int, seed int64, outDir string, ascii, svg, csv bool, 
 			return err
 		}
 	}
+	if want("placement") {
+		for _, m := range ms {
+			if err := placementFigure(m, sets, seed, outDir, ascii, svg, csv); err != nil {
+				return err
+			}
+		}
+	}
 	fmt.Printf("done in %v; outputs in %s\n", time.Since(start).Round(time.Millisecond), outDir)
+	return nil
+}
+
+// placementFigure scores every registered online placement heuristic on
+// the acceptance / fragmentation / analysis-cost axes at one platform
+// size, printing the multi-criteria table and emitting the full-set
+// acceptance chart.
+func placementFigure(m, sets int, seed int64, outDir string, ascii, svg, csv bool) error {
+	res, err := mcsched.RunPlacementExperiment(mcsched.PlacementExperimentConfig{
+		M:         m,
+		PH:        0.5,
+		SetsPerUB: sets,
+		Seed:      seed,
+	})
+	if err != nil {
+		return fmt.Errorf("placement m=%d: %w", m, err)
+	}
+	title := fmt.Sprintf("Placement heuristics — full-set acceptance, m=%d (%d sets/UB)", m, sets)
+	chart := mcsched.ChartFromPlacement(res, title)
+	base := filepath.Join(outDir, fmt.Sprintf("placement_m%d", m))
+	if err := emit(chart, base, ascii, svg, csv); err != nil {
+		return err
+	}
+	fmt.Println(mcsched.PlacementExperimentSummary(res))
 	return nil
 }
 

@@ -43,6 +43,16 @@ func TestRunFig6aTiny(t *testing.T) {
 	}
 }
 
+func TestRunPlacementTiny(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("placement", 1, 1, dir, false, false, true, "2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "placement_m2.csv")); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRunSpeedup(t *testing.T) {
 	if err := runSpeedup(10, 5); err != nil {
 		t.Fatal(err)

@@ -2,8 +2,11 @@
 // scheduling-as-a-service on top of the online admission controller. Each
 // tenant ("system") is a live task-to-core partition gated by one of the
 // library's uniprocessor schedulability tests; tasks are admitted, probed
-// and released at runtime using the paper's utilization-difference
-// placement order, with only the affected core re-analyzed per decision.
+// and released at runtime using a pluggable placement heuristic — by
+// default the paper's utilization-difference order, or any registry name
+// from GET /v1/strategies per tenant ("placement" in the create request)
+// or daemon-wide (-placement) — with only the affected core re-analyzed
+// per decision.
 // Candidate-core probes fan out across the batch-parallel analysis engine
 // (-workers goroutines per decision, default GOMAXPROCS, 1 = serial);
 // decisions are bit-identical to the serial scan either way.
@@ -65,8 +68,9 @@
 //
 // Endpoints (service address):
 //
-//	POST   /v1/systems                create a tenant {id?, processors, test}
+//	POST   /v1/systems                create a tenant {id?, processors, test, placement?}
 //	GET    /v1/systems                list tenant IDs
+//	GET    /v1/strategies             registries: tests, offline strategies, placement heuristics
 //	GET    /v1/systems/{id}           partition snapshot + per-core utilizations
 //	DELETE /v1/systems/{id}           drop a tenant (and its journal)
 //	POST   /v1/systems/{id}/admit     admit one task {"task":…} or a batch {"tasks":[…]}
@@ -118,6 +122,8 @@ func main() {
 	cacheCap := flag.Int("cache", 4096, "verdict-cache capacity (0 = default, negative disables)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutines per decision for parallel candidate-core probing (1 = serial)")
+	placement := flag.String("placement", "",
+		`default placement heuristic for tenants created without an explicit one (see GET /v1/strategies; empty selects "`+mcsched.DefaultPlacement+`")`)
 	dataDir := flag.String("data-dir", "",
 		"directory for per-tenant write-ahead journals; empty runs in-memory only")
 	fsync := flag.Bool("fsync", false,
@@ -177,6 +183,9 @@ func main() {
 	if err != nil {
 		fatal(err.Error())
 	}
+	if _, ok := mcsched.PlacementByName(*placement); !ok {
+		fatal("unknown -placement heuristic", "placement", *placement)
+	}
 	if *replStream && *replicateTo == "" {
 		fatal("-repl-stream requires -replicate-to")
 	}
@@ -198,6 +207,7 @@ func main() {
 		Shards:           *shards,
 		CacheCapacity:    *cacheCap,
 		Workers:          *workers,
+		Placement:        *placement,
 		DataDir:          *dataDir,
 		Fsync:            *fsync,
 		GroupCommit:      *groupCommit,

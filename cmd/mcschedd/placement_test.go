@@ -1,0 +1,124 @@
+package main
+
+// HTTP surface of the placement API: the create field, the registry
+// listing, the stats census and the explain trace.
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"mcsched"
+	"mcsched/internal/admission"
+)
+
+func TestDaemonPlacementCreate(t *testing.T) {
+	d := newTestDaemon(t)
+
+	// Omitted placement resolves to the default and is echoed.
+	var created createSystemResponse
+	if st := call(t, "POST", d.URL+"/v1/systems",
+		`{"id":"plain","processors":2,"test":"EDF-VD"}`, &created); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	if created.Placement != mcsched.DefaultPlacement {
+		t.Fatalf("default create echoed placement %q", created.Placement)
+	}
+
+	// An explicit heuristic is honored, echoed, and visible on GET.
+	if st := call(t, "POST", d.URL+"/v1/systems",
+		`{"id":"spread","processors":2,"test":"EDF-VD","placement":"wf-total"}`, &created); st != http.StatusCreated {
+		t.Fatalf("create wf-total: status %d", st)
+	}
+	if created.Placement != "wf-total" {
+		t.Fatalf("create echoed placement %q, want wf-total", created.Placement)
+	}
+	var sys systemResponse
+	if st := call(t, "GET", d.URL+"/v1/systems/spread", "", &sys); st != http.StatusOK {
+		t.Fatalf("get: status %d", st)
+	}
+	if sys.Placement != "wf-total" {
+		t.Fatalf("get reported placement %q", sys.Placement)
+	}
+
+	// Unknown and malformed names are rejected with a 400, creating nothing.
+	for _, bad := range []string{"nosuch", "ff@2.5", "ff@0.50"} {
+		body := fmt.Sprintf(`{"id":"bad","processors":2,"test":"EDF-VD","placement":%q}`, bad)
+		if st := call(t, "POST", d.URL+"/v1/systems", body, nil); st != http.StatusBadRequest {
+			t.Fatalf("placement %q: status %d, want 400", bad, st)
+		}
+	}
+	if st := call(t, "GET", d.URL+"/v1/systems/bad", "", nil); st != http.StatusNotFound {
+		t.Fatal("rejected create left a tenant behind")
+	}
+
+	// The stats census counts tenants per heuristic.
+	var stats admission.Stats
+	if st := call(t, "GET", d.URL+"/v1/stats", "", &stats); st != http.StatusOK {
+		t.Fatalf("stats: status %d", st)
+	}
+	if stats.Placements[mcsched.DefaultPlacement] != 1 || stats.Placements["wf-total"] != 1 {
+		t.Fatalf("stats placements = %v", stats.Placements)
+	}
+}
+
+func TestDaemonStrategiesListsPlacements(t *testing.T) {
+	d := newTestDaemon(t)
+	var resp strategiesResponse
+	if st := call(t, "GET", d.URL+"/v1/strategies", "", &resp); st != http.StatusOK {
+		t.Fatalf("strategies: status %d", st)
+	}
+	if len(resp.Tests) == 0 || len(resp.Strategies) == 0 {
+		t.Fatalf("registries empty: %+v", resp)
+	}
+	if len(resp.Placements) < 10 {
+		t.Fatalf("placement registry lists %d heuristics, want >= 10", len(resp.Placements))
+	}
+	defaults := 0
+	for _, p := range resp.Placements {
+		if p.Name == "" || p.Policies[0] == "" || p.Policies[1] == "" {
+			t.Fatalf("placement entry incomplete: %+v", p)
+		}
+		if p.Default {
+			defaults++
+			if p.Name != mcsched.DefaultPlacement {
+				t.Fatalf("default flag on %q", p.Name)
+			}
+		}
+	}
+	if defaults != 1 {
+		t.Fatalf("%d entries flagged default", defaults)
+	}
+}
+
+func TestDaemonExplainReportsPlacement(t *testing.T) {
+	d := newTestDaemon(t)
+	if st := call(t, "POST", d.URL+"/v1/systems",
+		`{"id":"x","processors":2,"test":"EDF-VD","placement":"bf-total"}`, nil); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	var resp explainResponse
+	body := fmt.Sprintf(`{"task":`+hcTask+`}`, 1)
+	if st := call(t, "POST", d.URL+"/v1/systems/x/admit?explain=1", body, &resp); st != http.StatusOK {
+		t.Fatalf("admit: status %d", st)
+	}
+	if !resp.Admitted || resp.Trace == nil {
+		t.Fatalf("explain admit: %+v", resp)
+	}
+	if resp.Trace.Placement != "bf-total" {
+		t.Fatalf("trace names placement %q", resp.Trace.Placement)
+	}
+	if resp.Trace.Policy == "" {
+		t.Fatal("trace has no policy")
+	}
+	if len(resp.Trace.Cores) == 0 {
+		t.Fatal("trace has no candidate cores")
+	}
+	// Candidate scores are the placer's own ranking: non-decreasing in
+	// scan order for a sorting heuristic like bf-total.
+	for i := 1; i < len(resp.Trace.Cores); i++ {
+		if resp.Trace.Cores[i].Score < resp.Trace.Cores[i-1].Score {
+			t.Fatalf("scan order contradicts scores: %+v", resp.Trace.Cores)
+		}
+	}
+}

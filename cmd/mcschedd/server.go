@@ -59,6 +59,7 @@ func (s *server) routes() map[string]http.HandlerFunc {
 		"POST /v1/systems/{id}/release":  s.handleRelease,
 		"POST /v1/systems/{id}/snapshot": s.handleSnapshot,
 		"POST /v1/systems/{id}/simulate": s.handleSimulate,
+		"GET /v1/strategies":             s.handleStrategies,
 		"GET /v1/stats":                  s.handleStats,
 		"GET " + replication.StatusPath:  s.handleReplicationStatus,
 		"POST " + replication.FramePath:  s.handleReplicationFrame,
@@ -108,12 +109,17 @@ type createSystemRequest struct {
 	// Test names the uniprocessor schedulability test, e.g. "EDF-VD",
 	// "ECDF", "EY", "AMC-max", "AMC-rtb".
 	Test string `json:"test"`
+	// Placement optionally names the placement heuristic (see GET
+	// /v1/strategies), including "<name>@<limit>" per-core utilization
+	// caps; empty selects the server default. Unknown names are rejected.
+	Placement string `json:"placement,omitempty"`
 }
 
 type createSystemResponse struct {
 	ID         string `json:"id"`
 	Processors int    `json:"processors"`
 	Test       string `json:"test"`
+	Placement  string `json:"placement"`
 }
 
 // admitRequest carries one task or a batch — exactly one of the two fields.
@@ -148,6 +154,7 @@ type systemResponse struct {
 	ID         string              `json:"id"`
 	Processors int                 `json:"processors"`
 	Test       string              `json:"test"`
+	Placement  string              `json:"placement"`
 	Tasks      int                 `json:"tasks"`
 	Cores      []coreStatus        `json:"cores"`
 	Partition  mcsio.PartitionJSON `json:"partition"`
@@ -155,6 +162,29 @@ type systemResponse struct {
 
 type listSystemsResponse struct {
 	Systems []string `json:"systems"`
+}
+
+// placementInfo is one registered placement heuristic in the strategies
+// listing.
+type placementInfo struct {
+	Name string `json:"name"`
+	// Default marks the heuristic tenants get when the create request
+	// names none.
+	Default bool `json:"default,omitempty"`
+	// Policies names the scan-order rules the heuristic applies to the
+	// two criticality classes, HC first.
+	Policies [2]string `json:"policies"`
+}
+
+type strategiesResponse struct {
+	// Tests lists the uniprocessor schedulability tests accepted by POST
+	// /v1/systems; Strategies the offline partitioning strategies of the
+	// library; Placements the online placement heuristics accepted in the
+	// create request's "placement" field (base names — every entry also
+	// accepts a "<name>@<limit>" per-core total-utilization cap).
+	Tests      []string        `json:"tests"`
+	Strategies []string        `json:"strategies"`
+	Placements []placementInfo `json:"placements"`
 }
 
 type errorResponse struct {
@@ -175,7 +205,7 @@ func (s *server) handleCreateSystem(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("unknown test %q", req.Test))
 		return
 	}
-	sys, err := s.ctrl.CreateSystem(req.ID, req.Processors, test)
+	sys, err := s.ctrl.CreateSystemWithPlacement(req.ID, req.Processors, test, req.Placement)
 	if err != nil {
 		s.fail(w, r, statusOf(err), err)
 		return
@@ -184,6 +214,7 @@ func (s *server) handleCreateSystem(w http.ResponseWriter, r *http.Request) {
 		ID:         sys.ID(),
 		Processors: sys.NumCores(),
 		Test:       sys.TestName(),
+		Placement:  sys.PlacementName(),
 	})
 }
 
@@ -206,6 +237,7 @@ func (s *server) handleGetSystem(w http.ResponseWriter, r *http.Request) {
 		ID:         sys.ID(),
 		Processors: sys.NumCores(),
 		Test:       sys.TestName(),
+		Placement:  sys.PlacementName(),
 		Tasks:      p.NumTasks(),
 		Partition:  mcsio.PartitionToJSON(p),
 	}
@@ -411,6 +443,28 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reply(w, http.StatusOK, mcsio.SimResultToJSON(out.System, out.Test, scn, out.Result))
+}
+
+// handleStrategies lists the registries a client can name in requests:
+// schedulability tests, offline partitioning strategies, and the online
+// placement heuristics for the create request's "placement" field.
+func (s *server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	resp := strategiesResponse{Tests: []string{}, Strategies: []string{}, Placements: []placementInfo{}}
+	for _, t := range mcsched.Tests() {
+		resp.Tests = append(resp.Tests, t.Name())
+	}
+	for _, st := range mcsched.Strategies() {
+		resp.Strategies = append(resp.Strategies, st.Name())
+	}
+	hc, lc := mcs.NewHC(0, 1, 2, 10), mcs.NewLC(0, 1, 10)
+	for _, p := range mcsched.Placements() {
+		resp.Placements = append(resp.Placements, placementInfo{
+			Name:     p.Name(),
+			Default:  p.Name() == mcsched.DefaultPlacement,
+			Policies: [2]string{p.Policy(hc), p.Policy(lc)},
+		})
+	}
+	reply(w, http.StatusOK, resp)
 }
 
 // statsResponse widens the controller stats with the replication view.

@@ -49,8 +49,28 @@
 //		mcsched.NewHCTask(0, 2, 4, 10),  // HC: C^L=2 C^H=4 T=D=10
 //		mcsched.NewLCTask(1, 3, 12),     // LC: C=3 T=D=12
 //	}
-//	algo := mcsched.Algorithm{Strategy: mcsched.CUUDP(), Test: mcsched.EDFVD()}
+//	cuudp, _ := mcsched.StrategyByName("CU-UDP")
+//	algo := mcsched.Algorithm{Strategy: cuudp, Test: mcsched.EDFVD()}
 //	part, err := algo.Partition(ts, 2)
 //	if err != nil { /* not schedulable on 2 cores */ }
 //	fmt.Println(part.Cores)
+//
+// # Named registries and migration
+//
+// Offline partitioning strategies, uniprocessor tests and online placement
+// heuristics are all resolved by name: StrategyByName/Strategies,
+// TestByName/Tests and PlacementByName/Placements. Names are stable wire
+// strings — they appear in journals, replication frames and the HTTP API —
+// so prefer them over the loose constructors. The CAUDP and CUUDP
+// constructor pairs are deprecated: replace
+//
+//	mcsched.CAUDP()   →  s, _ := mcsched.StrategyByName("CA-UDP")
+//	mcsched.CUUDP()   →  s, _ := mcsched.StrategyByName("CU-UDP")
+//
+// The online analogue of a strategy is a placement heuristic: tenants of
+// the admission controller pick one by registry name at creation
+// (Controller.CreateSystemWithPlacement, or the "placement" field of POST
+// /v1/systems), defaulting to DefaultPlacement — the paper's UDP rule.
+// Any base heuristic also accepts a "<name>@<limit>" suffix capping
+// per-core total utilization, e.g. "ff@0.75".
 package mcsched

@@ -67,7 +67,11 @@ func main() {
 	}
 	fmt.Printf("totals: ULL=%.3f ULH=%.3f UHH=%.3f\n\n", ts.ULL(), ts.ULH(), ts.UHH())
 
-	algo := mcsched.Algorithm{Strategy: mcsched.CUUDP(), Test: mcsched.AMC()}
+	cuudp, ok := mcsched.StrategyByName("CU-UDP")
+	if !ok {
+		log.Fatal("CU-UDP missing from the strategy registry")
+	}
+	algo := mcsched.Algorithm{Strategy: cuudp, Test: mcsched.AMC()}
 	const m = 2
 	p, err := algo.Partition(ts, m)
 	if err != nil {

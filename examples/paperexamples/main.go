@@ -56,6 +56,16 @@ func describe(name string, p mcsched.Partition, err error) {
 	}
 }
 
+// strategy resolves a named strategy from the registry; the names used in
+// this example are fixed, so a miss is a programming error.
+func strategy(name string) mcsched.Strategy {
+	s, ok := mcsched.StrategyByName(name)
+	if !ok {
+		panic("unknown strategy " + name)
+	}
+	return s
+}
+
 // edfvdLCRoom reports how much more LC utilization the core could take
 // under the EDF-VD test — the quantity the Figure 1 discussion is about.
 func edfvdLCRoom(c mcsched.TaskSet) float64 {
@@ -88,7 +98,7 @@ func main() {
 		fmt.Printf("  τ%d: u^L=%.2f u^H=%.2f (%s)\n", t.ID+1, t.ULo, t.UHi, t.Crit)
 	}
 	fmt.Println()
-	for _, s := range []mcsched.Strategy{mcsched.CAWuF(), mcsched.CAUDP()} {
+	for _, s := range []mcsched.Strategy{mcsched.CAWuF(), strategy("CA-UDP")} {
 		p, err := s.Partition(fig1, m, test)
 		describe(s.Name(), p, err)
 	}
@@ -110,7 +120,7 @@ func main() {
 		fmt.Printf("  τ%d: u^L=%.2f u^H=%.2f (%s)\n", t.ID+1, t.ULo, t.UHi, t.Crit)
 	}
 	fmt.Println()
-	for _, s := range []mcsched.Strategy{mcsched.CAUDP(), mcsched.CUUDP()} {
+	for _, s := range []mcsched.Strategy{strategy("CA-UDP"), strategy("CU-UDP")} {
 		p, err := s.Partition(fig2, m, test)
 		describe(s.Name(), p, err)
 	}

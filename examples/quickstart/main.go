@@ -34,7 +34,12 @@ func main() {
 	}
 
 	// An Algorithm is a partitioning strategy × a uniprocessor MC test.
-	algo := mcsched.Algorithm{Strategy: mcsched.CUUDP(), Test: mcsched.EDFVD()}
+	// Strategies are resolved by registry name (see mcsched.Strategies).
+	cuudp, ok := mcsched.StrategyByName("CU-UDP")
+	if !ok {
+		log.Fatal("CU-UDP missing from the strategy registry")
+	}
+	algo := mcsched.Algorithm{Strategy: cuudp, Test: mcsched.EDFVD()}
 	const m = 2
 	p, err := algo.Partition(ts, m)
 	if err != nil {

@@ -30,9 +30,34 @@ type WARResult = experiments.WARResult
 // of the paper's headline numbers.
 type Improvement = experiments.Improvement
 
+// PlacementExperimentConfig describes a multi-criteria sweep of the online
+// placement heuristics: every named (or, by default, every registered)
+// placer is scored on identical task sets along acceptance, fragmentation
+// and analysis-cost axes.
+type PlacementExperimentConfig = experiments.PlacementConfig
+
+// PlacementExperimentResult holds one PlacementScore per heuristic.
+type PlacementExperimentResult = experiments.PlacementResult
+
+// PlacementScore is one heuristic's aggregate: task- and set-level
+// acceptance, post-release fragmentation, analysis probes per task, and a
+// per-UB acceptance curve.
+type PlacementScore = experiments.PlacementScore
+
 // RunExperiment executes an acceptance-ratio sweep.
 func RunExperiment(cfg ExperimentConfig) (ExperimentResult, error) {
 	return experiments.Run(cfg)
+}
+
+// RunPlacementExperiment executes a placement-heuristic sweep.
+func RunPlacementExperiment(cfg PlacementExperimentConfig) (PlacementExperimentResult, error) {
+	return experiments.RunPlacement(cfg)
+}
+
+// PlacementExperimentSummary formats a placement sweep as a fixed-width
+// text table, one row per heuristic.
+func PlacementExperimentSummary(r PlacementExperimentResult) string {
+	return experiments.PlacementSummary(r)
 }
 
 // RunWARExperiment executes a weighted-acceptance-ratio sweep.
@@ -121,6 +146,12 @@ func ChartFromExperiment(r ExperimentResult, title string) Chart {
 
 // ChartFromWAR converts a WAR sweep into a chart with PH on the x axis.
 func ChartFromWAR(r WARResult, title string) Chart { return plot.FromWAR(r, title) }
+
+// ChartFromPlacement converts a placement sweep into a chart of full-set
+// acceptance over UB, one series per heuristic.
+func ChartFromPlacement(r PlacementExperimentResult, title string) Chart {
+	return plot.FromPlacement(r, title)
+}
 
 // RenderASCII renders a chart as a width×height text canvas.
 func RenderASCII(c Chart, width, height int) (string, error) {

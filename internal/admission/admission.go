@@ -64,6 +64,13 @@ type Config struct {
 	// verdicts kept across all cache stripes. 0 selects the default
 	// (4096); negative disables caching.
 	CacheCapacity int
+	// Placement names the default placement heuristic of tenants created
+	// without an explicit one (CreateSystem, and create requests with an
+	// empty placement field). Empty selects core.DefaultPlacement, the
+	// paper's criticality-aware UDP policy; any registry name
+	// (core.PlacerByName) is valid, including "<name>@<limit>" per-core
+	// utilization caps. CreateSystem fails closed on unknown names.
+	Placement string
 	// Workers is the number of goroutines the candidate-core probes of one
 	// admit/probe decision fan out across. 0 or 1 scans serially; negative
 	// selects GOMAXPROCS. Parallel probing returns bit-identical decisions
@@ -290,10 +297,22 @@ func (c *Controller) shard(id string) *tenantShard {
 // 4096 is far above any platform the analyses model.
 const MaxProcessors = 4096
 
-// CreateSystem registers a new tenant over m processors gated by test. An
-// empty id draws a fresh "s<n>" identifier (skipping any "s<n>" a client
-// claimed explicitly). The returned system is live immediately.
+// CreateSystem registers a new tenant over m processors gated by test,
+// packed by the configured default placement heuristic. An empty id draws
+// a fresh "s<n>" identifier (skipping any "s<n>" a client claimed
+// explicitly). The returned system is live immediately.
 func (c *Controller) CreateSystem(id string, m int, test core.Test) (*System, error) {
+	return c.CreateSystemWithPlacement(id, m, test, "")
+}
+
+// CreateSystemWithPlacement is CreateSystem with an explicit placement
+// heuristic: any registry name (core.PlacerByName), including
+// "<name>@<limit>" per-core utilization caps. The empty name selects the
+// controller's configured default (Config.Placement, itself defaulting to
+// core.DefaultPlacement); unknown names fail closed. Non-default
+// placements are journaled with the create-system event, so recovery and
+// failover rebuild the tenant with the identical packer.
+func (c *Controller) CreateSystemWithPlacement(id string, m int, test core.Test, placement string) (*System, error) {
 	if m <= 0 || m > MaxProcessors {
 		return nil, fmt.Errorf("admission: m=%d processors (must be in 1..%d)", m, MaxProcessors)
 	}
@@ -303,15 +322,22 @@ func (c *Controller) CreateSystem(id string, m int, test core.Test) (*System, er
 	if len(id) > MaxSystemID {
 		return nil, fmt.Errorf("admission: system ID longer than %d bytes", MaxSystemID)
 	}
+	if placement == "" {
+		placement = c.cfg.Placement
+	}
+	placer, err := resolvePlacement(placement)
+	if err != nil {
+		return nil, err
+	}
 	if c.follower.Load() {
 		return nil, ErrFollower
 	}
 	if id != "" {
-		return c.insert(id, m, test)
+		return c.insert(id, m, test, placer)
 	}
 	for {
 		candidate := fmt.Sprintf("s%d", atomic.AddUint64(&c.nextID, 1))
-		sys, err := c.insert(candidate, m, test)
+		sys, err := c.insert(candidate, m, test, placer)
 		if errors.Is(err, ErrDuplicateSystem) {
 			continue
 		}
@@ -319,10 +345,20 @@ func (c *Controller) CreateSystem(id string, m int, test core.Test) (*System, er
 	}
 }
 
+// resolvePlacement maps a placement name (empty = default) to its placer,
+// failing closed on names the registry does not know.
+func resolvePlacement(name string) (core.Placer, error) {
+	p, ok := core.PlacerByName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlacement, name)
+	}
+	return p, nil
+}
+
 // newTenant builds a System wired to the controller's shared cache, probe
 // engine, role flag and replication hooks.
-func (c *Controller) newTenant(id string, m int, test core.Test) *System {
-	sys := newSystem(id, m, test, c.cache, &c.stats, proberOrNil(c.engine))
+func (c *Controller) newTenant(id string, m int, test core.Test, placer core.Placer) *System {
+	sys := newSystem(id, m, test, placer, c.cache, &c.stats, proberOrNil(c.engine))
 	sys.follower = &c.follower
 	sys.hooks = &c.hooks
 	sys.metrics = &c.metrics
@@ -331,14 +367,14 @@ func (c *Controller) newTenant(id string, m int, test core.Test) *System {
 	return sys
 }
 
-func (c *Controller) insert(id string, m int, test core.Test) (*System, error) {
+func (c *Controller) insert(id string, m int, test core.Test, placer core.Placer) (*System, error) {
 	sh := c.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.m[id]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateSystem, id)
 	}
-	sys := c.newTenant(id, m, test)
+	sys := c.newTenant(id, m, test, placer)
 	if c.cfg.journaling() {
 		// The create-system event is the journal's first record; a tenant
 		// that cannot journal is not created at all.
@@ -497,8 +533,13 @@ func (c *Controller) Stats() Stats {
 	st.Systems = len(systems)
 	var kc kernel.Counters
 	var fams map[string]AnalyzerFamilyStats
+	var placements map[string]int
 	for _, sys := range systems {
 		st.Tasks += sys.NumTasks()
+		if placements == nil {
+			placements = make(map[string]int)
+		}
+		placements[sys.PlacementName()]++
 		sc := sys.AnalyzerCounters()
 		sc.AddTo(&kc)
 		if fams == nil {
@@ -518,6 +559,7 @@ func (c *Controller) Stats() Stats {
 	st.ExactRuns = kc.ExactRuns
 	st.WarmStarts = kc.WarmStarts
 	st.AnalyzerFamilies = fams
+	st.Placements = placements
 	st.Journal = c.journalTotals()
 	return st
 }

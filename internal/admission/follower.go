@@ -222,7 +222,14 @@ func (c *Controller) bootstrapReplicatedTenant(tenant string, e mcsio.EventJSON,
 	if !found {
 		return nil, fmt.Errorf("admission: unknown schedulability test %q in replicated stream", e.Test)
 	}
-	sys := c.newTenant(tenant, e.Processors, test)
+	// The replicated heuristic name already passed mcsio validation, but
+	// resolve it fail-closed anyway: the follower must pack with the
+	// leader's exact placer or verification diverges.
+	placer, err := resolvePlacement(e.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w in replicated stream", ErrReplayDivergence, err)
+	}
+	sys := c.newTenant(tenant, e.Processors, test, placer)
 	lg, err := journal.Open(c.tenantDir(tenant), c.journalOptions())
 	if err != nil {
 		return nil, err

@@ -228,6 +228,8 @@ func (s *System) writeSnapshotLocked() error {
 		System:     s.id,
 		Processors: s.asn.NumCores(),
 		Test:       s.ct.Name(),
+		Placement:  s.journaledPlacement(),
+		Cursor:     s.snapshotCursor(),
 		Partition:  mcsio.PartitionToJSON(s.asn.Snapshot()),
 		Admits:     s.admits,
 		Releases:   s.releases,
@@ -291,6 +293,7 @@ func (c *Controller) attachNewJournal(sys *System, m int) error {
 		System:     sys.id,
 		Processors: m,
 		Test:       sys.ct.Name(),
+		Placement:  sys.journaledPlacement(),
 	})
 	if err == nil {
 		// Tenant creation is rare, so it waits for durability inline rather
@@ -478,7 +481,11 @@ func (c *Controller) recoverTenant(id, dir string) (*System, int, bool, error) {
 			if !found {
 				return fmt.Errorf("admission: unknown schedulability test %q in journal", e.Test)
 			}
-			sys = c.newTenant(id, e.Processors, test)
+			placer, err := resolvePlacement(e.Placement)
+			if err != nil {
+				return fmt.Errorf("%w in journal", err)
+			}
+			sys = c.newTenant(id, e.Processors, test, placer)
 			return nil
 		}
 		if sys == nil {
@@ -526,7 +533,11 @@ func (c *Controller) systemFromSnapshot(id string, payload []byte) (*System, err
 	if !found {
 		return nil, fmt.Errorf("admission: unknown schedulability test %q in snapshot", snap.Test)
 	}
-	sys := c.newTenant(id, snap.Processors, test)
+	placer, err := resolvePlacement(snap.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("%w in snapshot", err)
+	}
+	sys := c.newTenant(id, snap.Processors, test, placer)
 	for k, coreSet := range part.Cores {
 		for _, t := range coreSet {
 			if sys.resident[t.ID] {
@@ -537,6 +548,13 @@ func (c *Controller) systemFromSnapshot(id string, payload []byte) (*System, err
 		}
 	}
 	sys.admits, sys.releases = snap.Admits, snap.Releases
+	if snap.Placement != "" {
+		// Restore the next-fit cursor: the rebuild commits above walked the
+		// cores in index order, which is not the live commit order, so
+		// stateful heuristics (nf) would otherwise scan from the wrong core
+		// on the first post-recovery placement.
+		sys.asn.SetLastCore(snap.Cursor - 1)
+	}
 	return sys, nil
 }
 

@@ -16,6 +16,9 @@ var (
 	// ErrUnknownTask is returned when releasing a task the system does not
 	// hold.
 	ErrUnknownTask = errors.New("admission: unknown task ID")
+	// ErrUnknownPlacement is returned when creating a tenant with a
+	// placement heuristic the registry does not know.
+	ErrUnknownPlacement = errors.New("admission: unknown placement heuristic")
 )
 
 // AdmitResult is the verdict of one admit or probe decision.
@@ -96,6 +99,10 @@ type Stats struct {
 	IncrementalHits uint64 `json:"incremental_hits"`
 	ExactRuns       uint64 `json:"exact_runs"`
 	WarmStarts      uint64 `json:"warm_starts"`
+	// Placements counts live tenants by placement heuristic (registry
+	// name, e.g. "udp-ca", "wf-total", "ff@0.75"). Absent when no tenants
+	// exist.
+	Placements map[string]int `json:"placements,omitempty"`
 	// AnalyzerFamilies breaks the analyzer counters down by test family
 	// (the schedulability test gating each tenant, e.g. "EDF-VD", "EY",
 	// "AMC-rtb"): each entry aggregates the per-core analyzer tallies of

@@ -36,6 +36,12 @@ type System struct {
 	asn      *core.Assigner
 	ct       *cachedTest
 	resident map[int]bool // task IDs currently placed
+	// placer is the tenant's placement heuristic (immutable after
+	// creation): it ranks the candidate cores of every decision. The
+	// default, core.DefaultPlacement, reproduces the paper's UDP policy
+	// bit-for-bit. Its registry name is journaled with the tenant, so
+	// recovery and promoted followers place with the identical packer.
+	placer core.Placer
 	// admits and releases are the tenant's lifetime committed-transition
 	// counters. They shadow the controller-wide counters so snapshots can
 	// persist them per tenant, making recovered stats identical to a
@@ -178,19 +184,24 @@ func (t *cachedTest) readTally() (tests, hits, shared int) {
 	return int(t.tallyTests.Load()), int(t.tallyHits.Load()), int(t.tallyShared.Load())
 }
 
-// newSystem wires a tenant over m cores judged by test, sharing the
-// controller's verdict cache, counters and probe engine.
-func newSystem(id string, m int, test core.Test, cache *verdictCache, stats *counters, prober core.Prober) *System {
+// newSystem wires a tenant over m cores judged by test and packed by
+// placer (nil selects the default UDP heuristic), sharing the controller's
+// verdict cache, counters and probe engine.
+func newSystem(id string, m int, test core.Test, placer core.Placer, cache *verdictCache, stats *counters, prober core.Prober) *System {
 	ct := &cachedTest{inner: test, name: test.Name(), innerFn: test.Schedulable, cache: cache, stats: stats}
 	asn := core.NewAssigner(m, ct)
 	if prober != nil {
 		asn.SetProber(prober)
+	}
+	if placer == nil {
+		placer, _ = core.PlacerByName(core.DefaultPlacement)
 	}
 	return &System{
 		id:           id,
 		rejectReason: "task fits on no core under " + ct.name,
 		asn:          asn,
 		ct:           ct,
+		placer:       placer,
 		resident:     make(map[int]bool),
 	}
 }
@@ -234,6 +245,31 @@ func (s *System) Fingerprint() string {
 // TestName returns the name of the schedulability test gating this system.
 func (s *System) TestName() string { return s.ct.inner.Name() }
 
+// PlacementName returns the registry name of the placement heuristic
+// ranking this system's candidate cores.
+func (s *System) PlacementName() string { return s.placer.Name() }
+
+// journaledPlacement is the placement name as written to the journal:
+// empty for the default heuristic, so journals of default-placed tenants
+// stay byte-identical to those written before placement was journaled.
+func (s *System) journaledPlacement() string {
+	if name := s.placer.Name(); name != core.DefaultPlacement {
+		return name
+	}
+	return ""
+}
+
+// snapshotCursor is the wire form of the next-fit cursor: one past the
+// core of the most recent commit, recorded only for non-default placements
+// (default snapshots keep their pre-placement bytes; the default heuristic
+// never reads the cursor). Caller holds s.mu.
+func (s *System) snapshotCursor() int {
+	if s.journaledPlacement() == "" {
+		return 0
+	}
+	return s.asn.LastCore() + 1
+}
+
 // NumCores returns the number of processors.
 func (s *System) NumCores() int {
 	s.mu.Lock()
@@ -276,16 +312,17 @@ func (s *System) validateIncoming(t mcs.Task) error {
 	return nil
 }
 
-// place runs the UDP online placement decision for one task without
-// committing anything: cores are tried worst-fit by utilization difference
-// for HC tasks, first-fit for LC tasks, and only the candidate core's task
-// set is re-analyzed. The candidate probes go through the assigner's
-// prober, so with a parallel engine configured they fan out across worker
-// goroutines — the chosen core is identical to a serial scan either way.
-// Caller holds s.mu.
+// place runs the online placement decision for one task without
+// committing anything: the tenant's placer ranks (and may prune) the
+// candidate cores — worst-fit by utilization difference for HC tasks and
+// first-fit for LC tasks under the default UDP heuristic — and only the
+// candidate core's task set is re-analyzed. The candidate probes go
+// through the assigner's prober, so with a parallel engine configured they
+// fan out across worker goroutines — the chosen core is identical to a
+// serial scan either way. Caller holds s.mu.
 func (s *System) place(t mcs.Task) AdmitResult {
 	res := AdmitResult{TaskID: t.ID, Core: -1}
-	if k := s.asn.FirstFitting(t, s.asn.PlacementOrder(t)); k >= 0 {
+	if k := s.asn.FirstFitting(t, s.placer.Order(s.asn, t)); k >= 0 {
 		res.Admitted = true
 		res.Core = k
 		return res

@@ -46,6 +46,10 @@ type CoreTrace struct {
 	Core     int     `json:"core"`
 	Tasks    int     `json:"tasks"`
 	UtilDiff float64 `json:"util_diff"`
+	// Score is the placer's preference key for this candidate at probe
+	// time — lower is preferred; it explains why this core was tried
+	// before the ones after it.
+	Score float64 `json:"score"`
 	// Fits is the probe verdict: would this core accept the task.
 	Fits bool `json:"fits"`
 	// Via classifies how the verdict was produced (see the Via constants).
@@ -59,10 +63,12 @@ type CoreTrace struct {
 // scan of one admit or probe decision, in the order the cores were tried.
 type DecisionTrace struct {
 	TaskID int `json:"task_id"`
-	// Test is the schedulability test gating the system; Policy names the
-	// placement rule that produced the core order.
-	Test   string `json:"test"`
-	Policy string `json:"policy"`
+	// Test is the schedulability test gating the system; Placement is the
+	// registry name of its placement heuristic; Policy names the placement
+	// rule the heuristic applied to this task's criticality.
+	Test      string `json:"test"`
+	Placement string `json:"placement"`
+	Policy    string `json:"policy"`
 	// Cores lists the probed candidates in scan order. An admitted task's
 	// last entry is its accepting core; a rejected task's list covers every
 	// core.
@@ -96,8 +102,9 @@ func (s *System) placeTraced(t mcs.Task, rec probeRecorder) AdmitResult {
 		return s.place(t)
 	}
 	res := AdmitResult{TaskID: t.ID, Core: -1}
-	for _, k := range s.asn.PlacementOrder(t) {
-		ct := CoreTrace{Core: k, Tasks: len(s.asn.Core(k)), UtilDiff: s.asn.UtilDiff(k)}
+	for _, k := range s.placer.Order(s.asn, t) {
+		ct := CoreTrace{Core: k, Tasks: len(s.asn.Core(k)),
+			UtilDiff: s.asn.UtilDiff(k), Score: s.placer.Score(s.asn, t, k)}
 		_, beforeHits, beforeShared := s.ct.readTally()
 		before := s.asn.CoreCounters(k)
 		ct.Fits = s.asn.Fits(t, k)
@@ -141,14 +148,6 @@ func classifyProbe(hits, shared int, before, after kernel.Counters) (via string,
 	}
 }
 
-// placementPolicy names the scan-order rule applied to the task.
-func placementPolicy(t mcs.Task) string {
-	if t.IsHC() {
-		return "worst-fit by utilization difference"
-	}
-	return "first-fit"
-}
-
 // AdmitExplain is Admit plus a per-core decision trace. The decision is
 // identical to Admit (same order, same cache, same commit point); the trace
 // additionally records every candidate probe. On a validation or journal
@@ -169,12 +168,13 @@ func (s *System) explain(t mcs.Task, commit bool) (AdmitResult, *DecisionTrace, 
 		return res, nil, err
 	}
 	return res, &DecisionTrace{
-		TaskID:   t.ID,
-		Test:     s.ct.name,
-		Policy:   placementPolicy(t),
-		Cores:    rec.cores,
-		Admitted: res.Admitted,
-		Core:     res.Core,
-		Reason:   res.Reason,
+		TaskID:    t.ID,
+		Test:      s.ct.name,
+		Placement: s.placer.Name(),
+		Policy:    s.placer.Policy(t),
+		Cores:     rec.cores,
+		Admitted:  res.Admitted,
+		Core:      res.Core,
+		Reason:    res.Reason,
 	}, nil
 }

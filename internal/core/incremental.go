@@ -28,6 +28,7 @@ type Assigner struct {
 	cores []mcs.TaskSet
 	ulh   []float64 // Σ u^L of HC tasks per core
 	uhh   []float64 // Σ u^H of HC tasks per core
+	ull   []float64 // Σ u^L of LC tasks per core
 	test  Test
 	// memo is non-nil when test can answer from a verdict cache; probes
 	// then go cache-first with the analyzer as the miss path. keyed is the
@@ -80,6 +81,7 @@ func NewAssigner(m int, test Test) *Assigner {
 		cores:      make([]mcs.TaskSet, m),
 		ulh:        make([]float64, m),
 		uhh:        make([]float64, m),
+		ull:        make([]float64, m),
 		test:       test,
 		analyzers:  make([]kernel.Analyzer, m),
 		computeFns: make([]func(mcs.TaskSet) bool, m),
@@ -134,8 +136,31 @@ func (a *Assigner) UtilDiff(k int) float64 { return a.uhh[k] - a.ulh[k] }
 // UHH returns Σ u^H over the HC tasks of core k.
 func (a *Assigner) UHH(k int) float64 { return a.uhh[k] }
 
+// ULL returns Σ u^L over the LC tasks of core k.
+func (a *Assigner) ULL(k int) float64 { return a.ull[k] }
+
+// LoUtil returns the LO-criticality-mode utilization of core k: Σ u^L over
+// all of its tasks (HC and LC alike run at their LO budgets in LO mode).
+func (a *Assigner) LoUtil(k int) float64 { return a.ulh[k] + a.ull[k] }
+
+// TotalUtil returns Σ of each task's level utilization on core k — u^H for
+// HC tasks, u^L for LC tasks — the load measure the criticality-unaware
+// packing heuristics steer by.
+func (a *Assigner) TotalUtil(k int) float64 { return a.uhh[k] + a.ull[k] }
+
 // LastCore returns the core of the most recent successful TryAssign, or -1.
 func (a *Assigner) LastCore() int { return a.lastCore }
+
+// SetLastCore restores the next-fit cursor when rebuilding an assigner from
+// a snapshot: releases never rewind the cursor, so it cannot be rederived
+// from the committed partition. k = -1 means no commit yet; out-of-range
+// values are ignored.
+func (a *Assigner) SetLastCore(k int) {
+	if k < -1 || k >= len(a.cores) {
+		return
+	}
+	a.lastCore = k
+}
 
 // analyzer returns core k's analysis engine, building it on first use.
 func (a *Assigner) analyzer(k int) kernel.Analyzer {
@@ -222,6 +247,8 @@ func (a *Assigner) Commit(task mcs.Task, k int) {
 	if task.IsHC() {
 		a.ulh[k] += task.ULo
 		a.uhh[k] += task.UHi
+	} else {
+		a.ull[k] += task.ULo
 	}
 	if a.keyed != nil {
 		a.coreKeys[k].Add(a.keyed.TaskKey(task))
@@ -329,6 +356,7 @@ func (a *Assigner) Remove(id int) (mcs.Task, bool) {
 				a.cores[k] = c[:len(c)-1]
 				a.ulh[k] = a.cores[k].ULH()
 				a.uhh[k] = a.cores[k].UHH()
+				a.ull[k] = a.cores[k].ULL()
 				if a.keyed != nil {
 					a.coreKeys[k].Remove(a.keyed.TaskKey(t))
 				}

@@ -265,6 +265,18 @@ func (r *binReader) str() string {
 	return s
 }
 
+// trailingStr reads an optional trailing string: the empty string when the
+// body is already fully consumed (the field was not written), the string
+// otherwise. Backward-compatible optional fields rely on close() demanding
+// exact consumption — a record either ends before the field or carries it
+// whole.
+func (r *binReader) trailingStr() string {
+	if r.err != nil || r.off == len(r.b) {
+		return ""
+	}
+	return r.str()
+}
+
 func (r *binReader) bytesVal() []byte {
 	n := r.length()
 	if r.err != nil {
@@ -406,6 +418,12 @@ func EncodeEventBinary(e EventJSON) ([]byte, error) {
 		w.str(e.System)
 		w.uvarint(uint64(e.Processors))
 		w.str(e.Test)
+		// Placement rides as an optional trailing field: written only when
+		// non-empty, so default-placement events are byte-identical to the
+		// pre-placement encoding (the decoder reads it iff bytes remain).
+		if e.Placement != "" {
+			w.str(e.Placement)
+		}
 	case EventAdmit:
 		w.byteVal(binEventAdmit)
 		writeTask(w, *e.Task)
@@ -444,6 +462,10 @@ func decodeEventBinary(b []byte) (EventJSON, error) {
 		e.System = r.str()
 		e.Processors = int(r.uvarint())
 		e.Test = r.str()
+		// Optional trailing placement; absent on records written before
+		// placement existed (and on default-placement tenants). A trailing
+		// value naming no registered heuristic is rejected by validateEvent.
+		e.Placement = r.trailingStr()
 	case binEventAdmit:
 		e.Kind = EventAdmit
 		t := readTask(r)
@@ -498,6 +520,16 @@ func EncodeSnapshotBinary(s SnapshotJSON) ([]byte, error) {
 	w.uvarint(s.Admits)
 	w.uvarint(s.Releases)
 	writePartition(w, s.Partition)
+	// Optional trailing placement, mirroring the create-system event: only
+	// non-default placements change the byte stream. The next-fit cursor
+	// follows it, also optional (validation guarantees cursor implies
+	// placement, so the two trailing fields parse unambiguously).
+	if s.Placement != "" {
+		w.str(s.Placement)
+		if s.Cursor != 0 {
+			w.uvarint(uint64(s.Cursor))
+		}
+	}
 	return w.finish(), nil
 }
 
@@ -516,6 +548,10 @@ func decodeSnapshotBinary(b []byte) (SnapshotJSON, error) {
 	s.Admits = r.uvarint()
 	s.Releases = r.uvarint()
 	s.Partition = readPartition(r)
+	s.Placement = r.trailingStr()
+	if r.err == nil && r.off < len(r.b) {
+		s.Cursor = int(r.uvarint())
+	}
 	if err := r.close("snapshot"); err != nil {
 		return SnapshotJSON{}, err
 	}

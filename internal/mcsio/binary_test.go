@@ -294,6 +294,25 @@ func FuzzDecodeBinaryRecord(f *testing.F) {
 	}
 	_, snapBin := validBinarySnapshot(f)
 	f.Add(snapBin)
+	// A placement-bearing snapshot exercises the optional trailing field.
+	placedSnap := SnapshotJSON{
+		Version: 1, Seq: 2, System: "s1", Processors: 1, Test: "EDF-VD",
+		Partition: PartitionJSON{Version: FormatVersion, Cores: [][]int{{}}},
+		Placement: "wf-total",
+	}
+	if b, err := EncodeSnapshotBinary(placedSnap); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(b)
+	}
+	// And one with the second optional trailing field, the next-fit cursor.
+	cursorSnap := placedSnap
+	cursorSnap.Placement, cursorSnap.Cursor = "nf", 1
+	if b, err := EncodeSnapshotBinary(cursorSnap); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(b)
+	}
 	// Adversarial seeds: bare header, wrong version, wrong type, torn body,
 	// CRC-less record.
 	f.Add([]byte{BinaryMagic})

@@ -50,6 +50,14 @@ type EventJSON struct {
 	System     string `json:"system,omitempty"`
 	Processors int    `json:"processors,omitempty"`
 	Test       string `json:"test,omitempty"`
+	// Placement names the tenant's placement heuristic (core.PlacerByName)
+	// on a create-system event. Empty means the default, core.
+	// DefaultPlacement — writers omit the field for the default, so
+	// journals written before placement existed (and every default-placed
+	// tenant since) keep a bit-identical byte stream. Unknown names fail
+	// validation closed: a journal must never replay under a different
+	// packer than the one that wrote it.
+	Placement string `json:"placement,omitempty"`
 
 	// Task and Core carry an admit event.
 	Task *TaskJSON `json:"task,omitempty"`
@@ -121,6 +129,9 @@ func validateEvent(e EventJSON) error {
 		if e.Test == "" {
 			return fmt.Errorf("mcsio: create-system event without a test name")
 		}
+		if err := validatePlacement(e.Placement); err != nil {
+			return err
+		}
 		return empty(e.Task == nil && len(e.Tasks) == 0 && len(e.Cores) == 0 && len(e.TaskIDs) == 0 && e.Core == 0)
 	case EventAdmit:
 		if e.Task == nil {
@@ -132,7 +143,7 @@ func validateEvent(e EventJSON) error {
 		if e.Core < 0 {
 			return fmt.Errorf("mcsio: admit event with core %d", e.Core)
 		}
-		return empty(len(e.Tasks) == 0 && len(e.Cores) == 0 && len(e.TaskIDs) == 0 && e.Processors == 0 && e.Test == "")
+		return empty(len(e.Tasks) == 0 && len(e.Cores) == 0 && len(e.TaskIDs) == 0 && e.Processors == 0 && e.Test == "" && e.Placement == "")
 	case EventAdmitBatch:
 		if len(e.Tasks) == 0 {
 			return fmt.Errorf("mcsio: admit-batch event without tasks")
@@ -154,7 +165,7 @@ func validateEvent(e EventJSON) error {
 				return fmt.Errorf("mcsio: admit-batch event with core %d", e.Cores[i])
 			}
 		}
-		return empty(e.Task == nil && len(e.TaskIDs) == 0 && e.Processors == 0 && e.Test == "" && e.Core == 0)
+		return empty(e.Task == nil && len(e.TaskIDs) == 0 && e.Processors == 0 && e.Test == "" && e.Core == 0 && e.Placement == "")
 	case EventRelease:
 		if len(e.TaskIDs) == 0 {
 			return fmt.Errorf("mcsio: release event without task IDs")
@@ -166,10 +177,23 @@ func validateEvent(e EventJSON) error {
 			}
 			seen[id] = true
 		}
-		return empty(e.Task == nil && len(e.Tasks) == 0 && len(e.Cores) == 0 && e.Processors == 0 && e.Test == "" && e.Core == 0)
+		return empty(e.Task == nil && len(e.Tasks) == 0 && len(e.Cores) == 0 && e.Processors == 0 && e.Test == "" && e.Core == 0 && e.Placement == "")
 	default:
 		return fmt.Errorf("mcsio: unknown event kind %q", e.Kind)
 	}
+}
+
+// validatePlacement fails closed on placement names the registry does not
+// resolve. The empty string (the default heuristic, left implicit on the
+// wire) is always valid.
+func validatePlacement(name string) error {
+	if name == "" {
+		return nil
+	}
+	if _, ok := core.PlacerByName(name); !ok {
+		return fmt.Errorf("mcsio: unknown placement heuristic %q", name)
+	}
+	return nil
 }
 
 // SnapshotFormatVersion identifies the tenant snapshot schema.
@@ -184,6 +208,19 @@ type SnapshotJSON struct {
 	Processors int           `json:"processors"`
 	Test       string        `json:"test"`
 	Partition  PartitionJSON `json:"partition"`
+	// Placement names the tenant's placement heuristic; empty means the
+	// default (and is omitted, keeping default-tenant snapshots
+	// byte-identical to the pre-placement schema). Unknown names reject
+	// the snapshot.
+	Placement string `json:"placement,omitempty"`
+	// Cursor persists the next-fit scan cursor as one past the core of the
+	// tenant's most recent commit (0 = no commit yet, omitted). It is
+	// recorded only alongside a non-default Placement — releases do not
+	// rewind the cursor, so it cannot be rederived from the partition, and
+	// stateful heuristics (nf) would diverge on snapshot recovery without
+	// it. A cursor without a placement, or one past Processors, rejects
+	// the snapshot.
+	Cursor int `json:"cursor,omitempty"`
 	// Admits and Releases carry the tenant's lifetime committed-transition
 	// counters, so recovery reports the same stats as a controller that
 	// never restarted even after the journal is truncated.
@@ -248,6 +285,17 @@ func validateSnapshot(s SnapshotJSON) (core.Partition, error) {
 	}
 	if s.Test == "" {
 		return core.Partition{}, fmt.Errorf("mcsio: snapshot without a test name")
+	}
+	if err := validatePlacement(s.Placement); err != nil {
+		return core.Partition{}, err
+	}
+	if s.Cursor != 0 {
+		if s.Placement == "" {
+			return core.Partition{}, fmt.Errorf("mcsio: snapshot cursor without a placement")
+		}
+		if s.Cursor < 0 || s.Cursor > s.Processors {
+			return core.Partition{}, fmt.Errorf("mcsio: snapshot cursor %d outside 1..%d", s.Cursor, s.Processors)
+		}
 	}
 	if len(s.Partition.Cores) != s.Processors {
 		return core.Partition{}, fmt.Errorf("mcsio: snapshot partition has %d cores for %d processors",

@@ -14,10 +14,16 @@ func wireTask(id int) TaskJSON {
 func validEvents() []EventJSON {
 	return []EventJSON{
 		{Version: 1, Seq: 1, Kind: EventCreateSystem, System: "s1", Processors: 4, Test: "EDF-VD"},
-		{Version: 1, Seq: 2, Kind: EventAdmit, Task: ptr(wireTask(1)), Core: 2},
-		{Version: 1, Seq: 3, Kind: EventAdmitBatch,
+		// Seqs stay contiguous because validReplFrames batches this list
+		// into one records frame, which demands consecutive stamps.
+		{Version: 1, Seq: 2, Kind: EventCreateSystem, System: "s2", Processors: 4, Test: "EDF-VD",
+			Placement: "wf-total"},
+		{Version: 1, Seq: 3, Kind: EventCreateSystem, System: "s3", Processors: 2, Test: "AMC-rtb",
+			Placement: "ff@0.75"},
+		{Version: 1, Seq: 4, Kind: EventAdmit, Task: ptr(wireTask(1)), Core: 2},
+		{Version: 1, Seq: 5, Kind: EventAdmitBatch,
 			Tasks: []TaskJSON{wireTask(2), wireTask(3)}, Cores: []int{0, 1}},
-		{Version: 1, Seq: 4, Kind: EventRelease, TaskIDs: []int{1, 3}},
+		{Version: 1, Seq: 6, Kind: EventRelease, TaskIDs: []int{1, 3}},
 	}
 }
 
@@ -104,13 +110,49 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotPlacementCursorRoundTrip: the placement name and the next-fit
+// cursor survive both codecs, and the cursor is accepted across its full
+// range 0..processors (0 = no commit yet, omitted on the wire).
+func TestSnapshotPlacementCursorRoundTrip(t *testing.T) {
+	p := core.Partition{Cores: []mcs.TaskSet{{mcs.NewLC(1, 2, 10)}, {}}}
+	for _, cursor := range []int{0, 1, 2} {
+		s := SnapshotJSON{
+			Version:    SnapshotFormatVersion,
+			Seq:        3,
+			System:     "t",
+			Processors: 2,
+			Test:       "EDF-VD",
+			Placement:  "nf",
+			Cursor:     cursor,
+			Partition:  PartitionToJSON(p),
+		}
+		for _, codec := range []Codec{CodecJSON, CodecBinary} {
+			b, err := codec.EncodeSnapshot(s)
+			if err != nil {
+				t.Fatalf("%s cursor %d: %v", codec, cursor, err)
+			}
+			got, _, err := DecodeSnapshot(b)
+			if err != nil {
+				t.Fatalf("%s cursor %d: %v", codec, cursor, err)
+			}
+			if got.Placement != "nf" || got.Cursor != cursor {
+				t.Fatalf("%s: round-tripped placement %q cursor %d, want nf %d",
+					codec, got.Placement, got.Cursor, cursor)
+			}
+		}
+	}
+}
+
 func TestSnapshotDecodeFailsClosed(t *testing.T) {
 	cases := map[string]string{
-		"version":        `{"v":9,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]}}`,
-		"no system":      `{"v":1,"seq":1,"processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]}}`,
-		"core mismatch":  `{"v":1,"seq":1,"system":"a","processors":2,"test":"EDF-VD","partition":{"version":1,"cores":[[]]}}`,
-		"unknown task":   `{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[7]]}}`,
-		"unknown fields": `{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]},"x":1}`,
+		"version":             `{"v":9,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]}}`,
+		"no system":           `{"v":1,"seq":1,"processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]}}`,
+		"core mismatch":       `{"v":1,"seq":1,"system":"a","processors":2,"test":"EDF-VD","partition":{"version":1,"cores":[[]]}}`,
+		"unknown task":        `{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[7]]}}`,
+		"unknown fields":      `{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]},"x":1}`,
+		"unknown placement":   `{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]},"placement":"nosuch"}`,
+		"cursor no place":     `{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]},"cursor":1}`,
+		"cursor out of range": `{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]},"placement":"nf","cursor":2}`,
 	}
 	for name, in := range cases {
 		if _, _, err := DecodeSnapshot([]byte(in)); err == nil {

@@ -34,6 +34,11 @@ func FuzzDecodeEvent(f *testing.F) {
 	f.Add([]byte(`{"v":1,"seq":1,"kind":"admit","task":{"id":1,"crit":"HI","period":0,"deadline":0,"c_lo":0,"c_hi":0},"core":0}`))
 	f.Add([]byte(`{"v":1,"seq":3,"kind":"admit-batch","tasks":[{"id":1,"crit":"LO","period":10,"deadline":10,"c_lo":2,"c_hi":2}],"cores":[0],"task_ids":[9]}`))
 	f.Add([]byte(`{"v":1,"seq":1,"kind":"release","task_ids":[1,2,3`))
+	// Placement-bearing create-system forms: an unregistered heuristic, a
+	// placement smuggled onto a non-create kind, and a malformed cap.
+	f.Add([]byte(`{"v":1,"seq":1,"kind":"create-system","system":"s1","processors":4,"test":"EDF-VD","placement":"no-such-packer"}`))
+	f.Add([]byte(`{"v":1,"seq":4,"kind":"release","task_ids":[1],"placement":"ff"}`))
+	f.Add([]byte(`{"v":1,"seq":1,"kind":"create-system","system":"s1","processors":4,"test":"EDF-VD","placement":"ff@2.5"}`))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		e, err := DecodeEvent(b)
@@ -64,6 +69,10 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		[]byte(`{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]}}`),
 		[]byte(`{"v":1,"seq":3,"system":"s1","processors":2,"test":"AMC-max","partition":{"version":1,"cores":[[1],[]],"tasks":[{"id":1,"crit":"HI","period":10,"deadline":10,"c_lo":2,"c_hi":4}]}}`),
 		[]byte(`{"v":1,"seq":1,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[1,1]],"tasks":[{"id":1,"crit":"LO","period":10,"deadline":10,"c_lo":2,"c_hi":2}]}}`),
+		[]byte(`{"v":1,"seq":2,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]},"placement":"prm-ll"}`),
+		[]byte(`{"v":1,"seq":2,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]},"placement":"bogus"}`),
+		[]byte(`{"v":1,"seq":2,"system":"a","processors":2,"test":"EDF-VD","partition":{"version":1,"cores":[[],[]]},"placement":"nf","cursor":2}`),
+		[]byte(`{"v":1,"seq":2,"system":"a","processors":1,"test":"EDF-VD","partition":{"version":1,"cores":[[]]},"cursor":1}`),
 		[]byte(`{"v":1`),
 		[]byte(`null`),
 	} {

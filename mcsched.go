@@ -81,11 +81,19 @@ var ErrUnpartitionable = core.ErrUnpartitionable
 // CAUDP returns the paper's criticality-aware UDP strategy (Algorithm 1):
 // HC tasks first (worst-fit by utilization difference), then LC tasks
 // (first-fit), both classes sorted by decreasing utilization.
+//
+// Deprecated: resolve strategies through the registry instead:
+// StrategyByName("CA-UDP"). The loose constructor pairs predate the named
+// registries and will not grow with them.
 func CAUDP() Strategy { return core.CAUDP() }
 
 // CUUDP returns the paper's criticality-unaware UDP strategy: one merged
 // decreasing-utilization order, HC tasks worst-fit by utilization
 // difference, LC tasks first-fit. The paper's best performer overall.
+//
+// Deprecated: resolve strategies through the registry instead:
+// StrategyByName("CU-UDP"). The loose constructor pairs predate the named
+// registries and will not grow with them.
 func CUUDP() Strategy { return core.CUUDP() }
 
 // CANoSortFF returns the baseline of Baruah et al. (RTS 2014):
@@ -132,6 +140,35 @@ func Parallelize(s Strategy, workers int) Strategy {
 
 // StrategyByName resolves a strategy from its Name() string.
 func StrategyByName(name string) (Strategy, bool) { return core.StrategyByName(name) }
+
+// ---------------------------------------------------------------------------
+// Online placement heuristics
+// ---------------------------------------------------------------------------
+
+// Placer is one online placement heuristic: the candidate-core order and
+// fit rule the admission controller applies to each arriving task. Every
+// tenant is bound to one placer at creation; the registry (Placements,
+// PlacementByName) is the source of named heuristics, including
+// "<name>@<limit>" variants capping per-core total utilization.
+type Placer = core.Placer
+
+// DefaultPlacement names the placer tenants get when none is requested:
+// the paper's UDP rule (criticality-aware worst-fit for HC, first-fit for
+// LC).
+const DefaultPlacement = core.DefaultPlacement
+
+// Placements returns every registered placement heuristic in a stable
+// order, the default first.
+func Placements() []Placer { return core.Placers() }
+
+// PlacementByName resolves a placement heuristic from its registry name.
+// The empty name resolves to the default; "<name>@<limit>" caps the base
+// heuristic at a per-core total utilization limit in (0, 1].
+func PlacementByName(name string) (Placer, bool) { return core.PlacerByName(name) }
+
+// PlacementNames returns the registry names of every placement heuristic
+// in the same order as Placements.
+func PlacementNames() []string { return core.PlacementNames() }
 
 // ---------------------------------------------------------------------------
 // Uniprocessor schedulability tests
@@ -278,6 +315,9 @@ var (
 	ErrDuplicateSystem = admission.ErrDuplicateSystem
 	ErrDuplicateTask   = admission.ErrDuplicateTask
 	ErrUnknownTask     = admission.ErrUnknownTask
+	// ErrUnknownPlacement rejects creating a tenant with a placement
+	// heuristic the registry does not know.
+	ErrUnknownPlacement = admission.ErrUnknownPlacement
 	// ErrJournalDisabled rejects snapshot operations on a controller
 	// running without a data directory.
 	ErrJournalDisabled = admission.ErrJournalDisabled
